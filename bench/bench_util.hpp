@@ -1,0 +1,48 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction benches. Each bench prints the
+// paper's series next to ours; absolute GB/s values depend on the simulator
+// calibration (see DESIGN.md §5), the *shape* is the reproduction target.
+// Message counts are scaled down from the paper's 1M per sender; set
+// SPINDLE_BENCH_SCALE to raise or lower them.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/experiment.hpp"
+#include "workload/table.hpp"
+
+namespace spindle::bench {
+
+using workload::ExperimentConfig;
+using workload::ExperimentResult;
+using workload::SenderPattern;
+using workload::Table;
+
+inline std::size_t scaled(std::size_t base) {
+  const double v = static_cast<double>(base) * workload::bench_scale();
+  return v < 40 ? 40 : static_cast<std::size_t>(v);
+}
+
+inline const char* pattern_name(SenderPattern p) {
+  switch (p) {
+    case SenderPattern::all:
+      return "all senders";
+    case SenderPattern::half:
+      return "half senders";
+    case SenderPattern::one:
+      return "one sender";
+  }
+  return "?";
+}
+
+inline std::vector<std::size_t> node_sweep() { return {2, 4, 8, 11, 16}; }
+
+inline std::string gbps(double v) { return Table::num(v, 2); }
+
+inline std::string check_completed(const ExperimentResult& r) {
+  return r.completed ? "" : " [INCOMPLETE: watchdog tripped]";
+}
+
+}  // namespace spindle::bench

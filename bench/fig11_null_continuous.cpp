@@ -1,0 +1,61 @@
+// Figure 11 + §4.2.2: impact of null-sends when every sender streams
+// continuously — nulls can only arise from the "inevitable small relative
+// motion" between members (scheduling hiccups).
+//
+// Paper headlines: for all senders the cost is visible at small subgroup
+// sizes (up to 25% at n=2) and vanishes (or turns into a gain) at larger
+// sizes; negligible for half senders; exactly zero nulls for one sender.
+// NOTE: our simulated hiccups are milder than the paper's testbed noise,
+// so the small-n penalty is present but smaller (see EXPERIMENTS.md); the
+// noisy profile below amplifies thread jitter to approximate their
+// environment.
+
+#include "bench_util.hpp"
+
+using namespace spindle;
+using namespace spindle::bench;
+
+namespace {
+void sweep(const char* title, const core::CpuModel& cpu) {
+  Table t(title, {"pattern", "nodes", "nulls off", "nulls on", "ratio",
+                  "nulls sent"});
+  for (auto pattern : {SenderPattern::all, SenderPattern::half,
+                       SenderPattern::one}) {
+    for (std::size_t n : {std::size_t{2}, std::size_t{4}, std::size_t{8},
+                          std::size_t{16}}) {
+      ExperimentConfig cfg;
+      cfg.nodes = n;
+      cfg.senders = pattern;
+      cfg.message_size = 10240;
+      cfg.messages_per_sender = scaled(300);
+      cfg.cpu = cpu;
+      cfg.opts = core::ProtocolOptions::spindle();
+      cfg.opts.null_sends = false;
+      auto off = workload::run_experiment(cfg);
+      cfg.opts.null_sends = true;
+      auto on = workload::run_experiment(cfg);
+      t.row({pattern_name(pattern), Table::integer(n),
+             gbps(off.throughput_gbps), gbps(on.throughput_gbps),
+             Table::num(on.throughput_gbps / off.throughput_gbps, 3),
+             Table::integer(on.totals.nulls_sent)});
+    }
+  }
+  t.print();
+}
+}  // namespace
+
+int main() {
+  core::CpuModel calm;  // defaults
+  sweep("Figure 11: null-sends under continuous sending (default noise)",
+        calm);
+
+  core::CpuModel noisy;
+  noisy.hiccup_mean_gap = 20'000;
+  noisy.hiccup_duration = 8'000;
+  sweep("Figure 11 (noisy-testbed profile: 8us hiccups every ~20us)", noisy);
+
+  std::printf(
+      "\npaper: up to 25%% penalty at small n (all senders), negligible for\n"
+      "half senders, zero nulls for one sender; gains at larger sizes.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 14: latency and bandwidth of memcpy vs data size, measured on
+// *this* host with google-benchmark (the one experiment that needs no
+// simulation), next to the simulator's memcpy cost model.
+//
+// Paper headline: latency stays low up to a few KB, then deteriorates for
+// large sizes — which is why copying small messages in/out of the ring
+// (§4.4) is affordable.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/options.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+void BM_memcpy(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  std::vector<char> src(size, 'x');
+  std::vector<char> dst(size);
+  for (auto _ : state) {
+    std::memcpy(dst.data(), src.data(), size);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_memcpy)->RangeMultiplier(4)->Range(64, 16 << 20);
+
+void BM_sim_memcpy_model(benchmark::State& state) {
+  // The simulator's cost model for the same sizes (reported as the
+  // simulated nanoseconds per copy, for calibration comparison).
+  spindle::core::CpuModel cpu;
+  const auto size = static_cast<std::size_t>(state.range(0));
+  spindle::sim::Nanos total = 0;
+  for (auto _ : state) {
+    total += cpu.memcpy_cost(size);
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["sim_ns_per_copy"] =
+      static_cast<double>(cpu.memcpy_cost(size));
+}
+BENCHMARK(BM_sim_memcpy_model)->RangeMultiplier(4)->Range(64, 16 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

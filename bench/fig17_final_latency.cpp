@@ -1,0 +1,44 @@
+// Figure 17: final delivery latency (send -> delivered everywhere) for the
+// single subgroup with all optimizations, vs the baseline.
+//
+// Paper headline: although the optimizations target throughput (and use
+// batching!), latency drops by nearly two orders of magnitude relative to
+// the baseline.
+
+#include "bench_util.hpp"
+
+using namespace spindle;
+using namespace spindle::bench;
+
+int main() {
+  Table t("Figure 17: final latency (10KB), baseline vs all optimizations",
+          {"pattern", "nodes", "baseline med (us)", "spindle med (us)",
+           "spindle p99 (us)", "improvement"});
+  for (auto pattern : {SenderPattern::all, SenderPattern::half,
+                       SenderPattern::one}) {
+    for (std::size_t n : node_sweep()) {
+      ExperimentConfig cfg;
+      cfg.nodes = n;
+      cfg.senders = pattern;
+      cfg.message_size = 10240;
+
+      cfg.opts = core::ProtocolOptions::baseline();
+      cfg.messages_per_sender = scaled(200);
+      auto base = workload::run_experiment(cfg);
+
+      cfg.opts = core::ProtocolOptions::spindle();
+      cfg.messages_per_sender = scaled(500);
+      auto opt = workload::run_experiment(cfg);
+
+      t.row({pattern_name(pattern), Table::integer(n),
+             Table::num(base.median_latency_us, 1),
+             Table::num(opt.median_latency_us, 1),
+             Table::num(opt.p99_latency_us, 1),
+             Table::num(base.median_latency_us /
+                        std::max(opt.median_latency_us, 0.001), 0) + "x"});
+    }
+  }
+  t.print();
+  std::printf("\npaper: latency improves by up to ~two orders of magnitude\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Microbenchmarks of the simulation substrate itself (google-benchmark):
+// event loop throughput, coroutine round trips, SST/SMC push costs (real
+// CPU time, not simulated time), histogram insertion, RNG. These bound how
+// large a simulated experiment is affordable.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/mutex.hpp"
+#include "sim/rng.hpp"
+#include "smc/ring.hpp"
+#include "sst/sst.hpp"
+
+namespace {
+
+using namespace spindle;
+
+void BM_engine_schedule_fn(benchmark::State& state) {
+  sim::Engine engine;
+  int sink = 0;
+  for (auto _ : state) {
+    engine.schedule_fn(engine.now() + 10, [&sink] { ++sink; });
+    engine.step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_engine_schedule_fn);
+
+void BM_engine_coroutine_sleep(benchmark::State& state) {
+  sim::Engine engine;
+  std::uint64_t wakes = 0;
+  engine.spawn([](sim::Engine& e, std::uint64_t& w) -> sim::Co<> {
+    for (;;) {
+      co_await e.sleep(5);
+      ++w;
+    }
+  }(engine, wakes));
+  for (auto _ : state) {
+    engine.step();
+  }
+  benchmark::DoNotOptimize(wakes);
+}
+BENCHMARK(BM_engine_coroutine_sleep);
+
+void BM_mutex_uncontended(benchmark::State& state) {
+  sim::Engine engine;
+  sim::Mutex mutex(engine);
+  std::uint64_t count = 0;
+  engine.spawn([](sim::Engine& e, sim::Mutex& m, std::uint64_t& c) -> sim::Co<> {
+    for (;;) {
+      co_await m.lock();
+      ++c;
+      m.unlock();
+      co_await e.sleep(1);
+    }
+  }(engine, mutex, count));
+  for (auto _ : state) {
+    engine.step();
+  }
+  benchmark::DoNotOptimize(count);
+}
+BENCHMARK(BM_mutex_uncontended);
+
+void BM_fabric_post_write(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  sim::Engine engine;
+  net::Fabric fabric(engine, net::TimingModel{}, 2);
+  std::vector<std::byte> src(size, std::byte{1});
+  std::vector<std::byte> dst(size);
+  auto region = fabric.register_region(1, dst);
+  for (auto _ : state) {
+    fabric.post_write(0, region, 0, src);
+    engine.run();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_fabric_post_write)->Arg(8)->Arg(10240)->Arg(1 << 20);
+
+void BM_sst_push_field(benchmark::State& state) {
+  sim::Engine engine;
+  net::Fabric fabric(engine, net::TimingModel{}, 4);
+  sst::Layout layout;
+  auto field = layout.add_i64("x");
+  std::vector<net::NodeId> members{0, 1, 2, 3};
+  std::vector<std::unique_ptr<sst::Sst>> tables;
+  std::vector<sst::Sst*> ptrs;
+  for (auto id : members) {
+    tables.push_back(std::make_unique<sst::Sst>(fabric, id, members, layout));
+    ptrs.push_back(tables.back().get());
+  }
+  sst::Sst::connect(ptrs);
+  std::vector<std::size_t> targets{0, 1, 2, 3};
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    tables[0]->write_local_i64(field, ++v);
+    tables[0]->push_field(field, targets);
+    engine.run();
+  }
+}
+BENCHMARK(BM_sst_push_field);
+
+void BM_ring_push_batch(benchmark::State& state) {
+  const auto batch = static_cast<std::int64_t>(state.range(0));
+  sim::Engine engine;
+  net::Fabric fabric(engine, net::TimingModel{}, 2);
+  std::vector<net::NodeId> members{0, 1};
+  smc::RingGroup a(fabric, 0, members, 0, 1, 256, 10240);
+  smc::RingGroup b(fabric, 1, members, SIZE_MAX, 1, 256, 10240);
+  smc::RingGroup* rings[] = {&a, &b};
+  smc::RingGroup::connect(rings);
+  std::vector<std::size_t> target{1};
+  std::int64_t next = 0;
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < batch; ++i) a.mark_ready(next + i, 100, 0);
+    a.push_data(next, next + batch, target);
+    a.push_trailers(next, next + batch, target);
+    next += batch;
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          batch);
+}
+BENCHMARK(BM_ring_push_batch)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_histogram_add(benchmark::State& state) {
+  metrics::Histogram h;
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    h.add(rng.below(1 << 20));
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_histogram_add);
+
+void BM_rng_next(benchmark::State& state) {
+  sim::Rng rng(7);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink ^= rng.next_u64();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_rng_next);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,218 @@
+#include "core/group.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace spindle::core {
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(cfg),
+      owned_engine_(std::make_unique<sim::Engine>()),
+      owned_fabric_(std::make_unique<net::Fabric>(*owned_engine_, cfg.timing,
+                                                  cfg.nodes)),
+      engine_(owned_engine_.get()),
+      fabric_(owned_fabric_.get()),
+      rng_(cfg.seed) {
+  if (cfg.nodes == 0) throw std::invalid_argument("cluster needs >= 1 node");
+  for (std::size_t i = 0; i < cfg.nodes; ++i) {
+    members_.push_back(static_cast<net::NodeId>(i));
+  }
+  nodes_.resize(cfg.nodes);
+  for (net::NodeId id : members_) {
+    nodes_[id] = std::make_unique<Node>(*this, id, rng_.fork());
+  }
+}
+
+Cluster::Cluster(sim::Engine& engine, net::Fabric& fabric,
+                 const ClusterConfig& cfg, std::vector<net::NodeId> members)
+    : cfg_(cfg),
+      engine_(&engine),
+      fabric_(&fabric),
+      rng_(cfg.seed),
+      members_(std::move(members)) {
+  if (members_.empty()) throw std::invalid_argument("empty member list");
+  nodes_.resize(fabric.size());
+  for (net::NodeId id : members_) {
+    if (id >= fabric.size()) throw std::invalid_argument("member not in fabric");
+    nodes_[id] = std::make_unique<Node>(*this, id, rng_.fork());
+  }
+}
+
+Cluster::~Cluster() { shutdown(); }
+
+SubgroupId Cluster::create_subgroup(SubgroupConfig cfg) {
+  if (started_) throw std::logic_error("create_subgroup after start()");
+  if (cfg.members.empty()) throw std::invalid_argument("empty subgroup");
+  if (cfg.senders.empty()) throw std::invalid_argument("no senders");
+  std::unordered_set<net::NodeId> members(cfg.members.begin(),
+                                          cfg.members.end());
+  if (members.size() != cfg.members.size()) {
+    throw std::invalid_argument("duplicate members");
+  }
+  for (net::NodeId m : cfg.members) {
+    if (!is_member(m)) {
+      throw std::invalid_argument("subgroup member is not a cluster member");
+    }
+  }
+  for (net::NodeId s : cfg.senders) {
+    if (!members.contains(s)) {
+      throw std::invalid_argument("sender is not a member");
+    }
+  }
+  if (cfg.opts.window_size == 0 || cfg.opts.max_msg_size == 0) {
+    throw std::invalid_argument("window_size and max_msg_size must be > 0");
+  }
+  if (cfg.opts.persistent && cfg.opts.mode != DeliveryMode::atomic) {
+    throw std::invalid_argument("persistent mode requires atomic delivery");
+  }
+  subgroup_configs_.push_back(std::move(cfg));
+  return static_cast<SubgroupId>(subgroup_configs_.size() - 1);
+}
+
+void Cluster::start() {
+  if (started_) throw std::logic_error("start() called twice");
+  started_ = true;
+
+  // SST columns: received_num, delivered_num and (persistent mode)
+  // persisted_num per subgroup (§2.2 / footnote 2).
+  sst::Layout layout;
+  struct SgFields {
+    sst::FieldId received, delivered, persisted;
+  };
+  std::vector<SgFields> fields;
+  fields.reserve(subgroup_configs_.size());
+  for (std::size_t i = 0; i < subgroup_configs_.size(); ++i) {
+    SgFields f;
+    f.received = layout.add_i64("received_num[" + std::to_string(i) + "]");
+    f.delivered = layout.add_i64("delivered_num[" + std::to_string(i) + "]");
+    f.persisted = layout.add_i64("persisted_num[" + std::to_string(i) + "]");
+    fields.push_back(f);
+  }
+
+  // SST rows span exactly this cluster's members; rank = index in members_.
+  std::vector<std::size_t> rank_of(nodes_.size(), SIZE_MAX);
+  for (std::size_t r = 0; r < members_.size(); ++r) {
+    rank_of[members_[r]] = r;
+  }
+  std::vector<sst::Sst*> ssts;
+  for (net::NodeId id : members_) {
+    Node& node = *nodes_[id];
+    node.init_sst(layout, members_);
+    for (const auto& f : fields) {
+      node.sst().init_field_all_rows_i64(f.received, -1);
+      node.sst().init_field_all_rows_i64(f.delivered, -1);
+      node.sst().init_field_all_rows_i64(f.persisted, -1);
+    }
+    ssts.push_back(&node.sst());
+  }
+  sst::Sst::connect(ssts);
+
+  oracle_.resize(subgroup_configs_.size());
+  for (SubgroupId sg = 0; sg < subgroup_configs_.size(); ++sg) {
+    const SubgroupConfig& cfg = subgroup_configs_[sg];
+    oracle_[sg].resize(cfg.senders.size());
+
+    std::vector<smc::RingGroup*> rings;
+    for (net::NodeId member : cfg.members) {
+      Node& node = *nodes_[member];
+      SubgroupState s;
+      s.id = sg;
+      s.cfg = cfg;
+      s.f_received = fields[sg].received;
+      s.f_delivered = fields[sg].delivered;
+      s.f_persisted = fields[sg].persisted;
+      if (cfg.opts.persistent) {
+        s.persist_signal = std::make_unique<sim::Signal>(*engine_);
+      }
+      const auto mit =
+          std::find(cfg.members.begin(), cfg.members.end(), member);
+      s.my_member_idx = static_cast<std::size_t>(mit - cfg.members.begin());
+      const auto sit =
+          std::find(cfg.senders.begin(), cfg.senders.end(), member);
+      s.my_sender_idx = sit == cfg.senders.end()
+                            ? SIZE_MAX
+                            : static_cast<std::size_t>(
+                                  sit - cfg.senders.begin());
+      s.ring = std::make_unique<smc::RingGroup>(
+          *fabric_, member, cfg.members,
+          s.my_sender_idx == SIZE_MAX ? SIZE_MAX : s.my_sender_idx,
+          cfg.senders.size(), cfg.opts.window_size, cfg.opts.max_msg_size);
+      for (std::size_t i = 0; i < cfg.members.size(); ++i) {
+        s.member_sst_ranks.push_back(rank_of[cfg.members[i]]);
+        if (cfg.members[i] == member) continue;
+        s.peer_ranks.push_back(rank_of[cfg.members[i]]);
+        s.ring_targets.push_back(i);
+      }
+      s.n_received.assign(cfg.senders.size(), 0);
+      s.is_null.assign(cfg.opts.window_size, 0);
+      s.scan_cost_factor =
+          cfg_.cpu.cold_multiplier(s.ring->memory_bytes());
+      node.add_subgroup(std::move(s));
+      rings.push_back(node.find(sg)->ring.get());
+    }
+    smc::RingGroup::connect(rings);
+  }
+
+  for (net::NodeId id : members_) nodes_[id]->start();
+}
+
+void Cluster::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  for (net::NodeId id : members_) nodes_[id]->stop();
+  // Drain only when we own the engine; epoch clusters inside a managed
+  // group share the engine with the membership service, which never quiesces.
+  if (owned_engine_) {
+    engine_->run();
+  }
+}
+
+void Cluster::crash(net::NodeId id) {
+  fabric_->isolate(id);
+  nodes_[id]->stop();
+}
+
+void Cluster::record_send_time(SubgroupId sg, std::size_t sender,
+                               std::int64_t msg_index, sim::Nanos t) {
+  auto& v = oracle_[sg][sender];
+  if (v.size() <= static_cast<std::size_t>(msg_index)) {
+    v.resize(static_cast<std::size_t>(msg_index) + 1, -1);
+  }
+  v[static_cast<std::size_t>(msg_index)] = t;
+}
+
+sim::Nanos Cluster::send_time(SubgroupId sg, std::size_t sender,
+                              std::int64_t msg_index) const {
+  const auto& v = oracle_[sg][sender];
+  if (static_cast<std::size_t>(msg_index) >= v.size()) return -1;
+  return v[static_cast<std::size_t>(msg_index)];
+}
+
+std::uint64_t Cluster::total_delivered(SubgroupId sg) const {
+  std::uint64_t total = 0;
+  for (net::NodeId id : members_) total += nodes_[id]->delivered_in(sg);
+  return total;
+}
+
+void Cluster::refresh_nic_counters() {
+  for (net::NodeId id : members_) {
+    Node& node = *nodes_[id];
+    auto& c = node.counters();
+    const auto& st = fabric_->stats(id);
+    c.rdma_writes_posted = st.writes_posted;
+    c.rdma_bytes_posted = st.bytes_posted;
+    c.post_cpu = st.post_cpu;
+    c.lock_wait = node.lock().total_wait();
+  }
+}
+
+metrics::ProtocolCounters Cluster::totals() {
+  refresh_nic_counters();
+  metrics::ProtocolCounters total;
+  for (net::NodeId id : members_) total.merge(nodes_[id]->counters());
+  return total;
+}
+
+}  // namespace spindle::core

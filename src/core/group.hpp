@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/node.hpp"
+#include "core/options.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace spindle::core {
+
+struct ClusterConfig {
+  std::size_t nodes = 4;
+  net::TimingModel timing{};
+  CpuModel cpu{};
+  std::uint64_t seed = 1;
+};
+
+/// A Derecho-style top-level group of simulated machines plus its
+/// subgroups. Owns the simulation engine, the RDMA fabric, one Node per
+/// machine, and the per-message send-time oracle used for latency metrics.
+///
+/// Usage: construct, create_subgroup() for each application component,
+/// start(), spawn application actors on engine(), run.
+class Cluster {
+ public:
+  /// Standalone cluster: owns its engine and fabric; members are all of
+  /// cfg.nodes.
+  explicit Cluster(ClusterConfig cfg);
+
+  /// Epoch cluster for virtual synchrony (core/view.hpp): shares an
+  /// existing engine + fabric and spans only `members` (a subset of the
+  /// fabric's nodes — e.g. the survivors of a view change).
+  Cluster(sim::Engine& engine, net::Fabric& fabric, const ClusterConfig& cfg,
+          std::vector<net::NodeId> members);
+
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Register a subgroup (before start()). Senders must be members;
+  /// delivery order within a round follows the order of `senders`.
+  SubgroupId create_subgroup(SubgroupConfig cfg);
+
+  /// Allocate and connect SST + ring buffers (the per-view memory layout of
+  /// §2.3) and start every node's predicate thread.
+  void start();
+
+  /// Wake-and-join: stop all predicate threads and drain the event queue.
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+  /// Number of member nodes in this cluster (not the fabric size).
+  std::size_t size() const noexcept { return members_.size(); }
+  const std::vector<net::NodeId>& members() const noexcept { return members_; }
+  bool is_member(net::NodeId id) const {
+    return id < nodes_.size() && nodes_[id] != nullptr;
+  }
+  Node& node(net::NodeId id) {
+    assert(is_member(id));
+    return *nodes_[id];
+  }
+  sim::Engine& engine() noexcept { return *engine_; }
+  net::Fabric& fabric() noexcept { return *fabric_; }
+  const ClusterConfig& config() const noexcept { return cfg_; }
+  const CpuModel& cpu() const noexcept { return cfg_.cpu; }
+  const SubgroupConfig& subgroup_config(SubgroupId sg) const {
+    return subgroup_configs_[sg];
+  }
+  std::size_t num_subgroups() const noexcept {
+    return subgroup_configs_.size();
+  }
+
+  /// Crash a node: isolate it on the fabric and halt its threads.
+  void crash(net::NodeId id);
+
+  // --- send-time oracle (latency measurement side channel) ---
+  void record_send_time(SubgroupId sg, std::size_t sender,
+                        std::int64_t msg_index, sim::Nanos t);
+  sim::Nanos send_time(SubgroupId sg, std::size_t sender,
+                       std::int64_t msg_index) const;
+
+  /// Total application messages delivered by every member of `sg`
+  /// (completion condition helper: equals members * sent when done).
+  std::uint64_t total_delivered(SubgroupId sg) const;
+
+  /// Aggregate per-node counters; also copies fabric NIC statistics and
+  /// lock wait totals into each node's ProtocolCounters first.
+  metrics::ProtocolCounters totals();
+  void refresh_nic_counters();
+
+ private:
+  ClusterConfig cfg_;
+  std::unique_ptr<sim::Engine> owned_engine_;
+  std::unique_ptr<net::Fabric> owned_fabric_;
+  sim::Engine* engine_;
+  net::Fabric* fabric_;
+  sim::Rng rng_;
+  std::vector<net::NodeId> members_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // indexed by NodeId; null for
+                                              // fabric nodes outside members_
+  std::vector<SubgroupConfig> subgroup_configs_;
+  // oracle_[sg][sender][msg_index] = send timestamp (-1 for nulls/unset)
+  std::vector<std::vector<std::vector<sim::Nanos>>> oracle_;
+  bool started_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace spindle::core

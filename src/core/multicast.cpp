@@ -1,0 +1,390 @@
+#include <algorithm>
+#include <cassert>
+
+#include "core/group.hpp"
+#include "core/node.hpp"
+
+namespace spindle::core {
+
+namespace {
+constexpr sim::Nanos kPerNullCost = 25;  // trailer write + counter bump
+}
+
+void Node::start() {
+  assert(!started_);
+  started_ = true;
+  cluster_.engine().spawn(predicate_loop());
+  for (auto& s : subgroups_) {
+    if (s->cfg.opts.persistent) {
+      cluster_.engine().spawn(persist_logger(*s));
+    }
+  }
+}
+
+/// One subgroup's predicates: receive, null-check, send, delivery (§2.4
+/// with the §3.2/§3.3 modifications). Runs with the node lock held; pure
+/// compute — simulated CPU accumulates in `work`, RDMA writes in `plan`.
+bool Node::process_subgroup_sync(SubgroupState& s, sim::Nanos& work,
+                                 PostPlan& plan) {
+  const ProtocolOptions& opts = s.cfg.opts;
+  const CpuModel& cpu = cluster_.cpu();
+  const auto S = s.num_senders();
+  auto& eng = cluster_.engine();
+  bool acted = false;
+
+  // Wedged (view change in progress): the subgroup is completely frozen —
+  // no sends, nulls, acknowledgments or deliveries. Every value this node
+  // pushed before wedging is bounded by its frozen received_num, which is
+  // what makes the leader's ragged trim a consistent cut (core/view.hpp).
+  if (s.wedged) return false;
+
+  // Cache-pressure factor: huge polling areas (large windows, §4.1.2) make
+  // every slot probe and message touch a cache miss.
+  const auto cold = [&](sim::Nanos t) {
+    return static_cast<sim::Nanos>(static_cast<double>(t) *
+                                   s.scan_cost_factor);
+  };
+
+  // ---- Receive predicate ----
+  work += cpu.predicate_eval;
+  std::uint64_t batch_received = 0;
+  std::int64_t prior_received_num = s.received_num;
+  for (std::size_t j = 0; j < S; ++j) {
+    work += cold(cpu.per_sender_scan);
+    std::int64_t& n = s.n_received[j];
+    for (;;) {
+      const smc::SlotTrailer t = s.ring->trailer(j, n);
+      if (t.count != n + 1) break;  // first empty slot: stop (§3.2)
+      work += cold(cpu.per_message_receive);
+      const std::int64_t k = n;
+      ++n;
+      ++batch_received;
+      if (opts.mode == DeliveryMode::unordered && !(t.flags & smc::kNullFlag)) {
+        // QoS "unordered": upcall at reception, no stability wait (§4.6).
+        work += cpu.upcall_cost + opts.extra_upcall_delay;
+        if (opts.memcpy_on_delivery) work += cpu.memcpy_cost(t.len);
+        const Delivery d{s.id, j, -1, k, s.ring->message(j, k, t.len)};
+        if (s.delivery_cost_hook) work += s.delivery_cost_hook(d);
+        if (s.handler) s.handler(d);
+        ++counters_.messages_delivered;
+        counters_.bytes_delivered += t.len;
+        ++delivered_total_;
+        ++delivered_per_sg_[s.id];
+        const sim::Nanos sent = cluster_.send_time(s.id, j, k);
+        if (sent >= 0) {
+          counters_.delivery_latency_ns.add(
+              static_cast<std::uint64_t>(eng.now() + work - sent));
+        }
+      }
+      if (!opts.receive_batching) {
+        // Baseline: acknowledge every message individually (§3.2 notes the
+        // predicate thread spends >30% of its time posting these).
+        recompute_received_num(s);
+        if (s.received_num != prior_received_num) {
+          ++plan.ack_pushes;
+          prior_received_num = s.received_num;
+        }
+        break;  // at most one message per sender per iteration
+      }
+    }
+  }
+  if (batch_received > 0) {
+    counters_.receive_batches.add(batch_received);
+    acted = true;
+    recompute_received_num(s);
+    if (opts.receive_batching && s.received_num != prior_received_num) {
+      plan.ack_pushes = 1;  // one batched ack, monotonic advance (§3.2)
+    }
+    sst_->write_local_i64(s.f_received, s.received_num);
+  }
+
+  // ---- Null-send check (§3.3) ----
+  // Receiver-side logic, sender-side action: if a message we would send
+  // next still precedes (in round-robin order) a message we have already
+  // received, inject nulls so the delivery pipeline never stalls on us.
+  if (opts.null_sends && s.is_sender() && !s.wedged && !stopped_) {
+    std::int64_t target = 0;
+    for (std::size_t j = 0; j < S; ++j) {
+      if (j == s.my_sender_idx) continue;
+      const std::int64_t kmax = s.n_received[j] - 1;
+      if (kmax < 0) continue;
+      // M(me, l) < M(j, kmax)  <=>  l < kmax, or l == kmax and me < j.
+      const std::int64_t need = kmax + (s.my_sender_idx < j ? 1 : 0);
+      target = std::max(target, need);
+    }
+    std::int64_t nulls = target - s.claimed;
+    std::uint64_t sent_nulls = 0;
+    while (nulls > 0 && slot_free(s, s.claimed)) {
+      const std::int64_t k = s.claimed;
+      s.ring->mark_ready(k, 0, smc::kNullFlag);
+      s.is_null[static_cast<std::size_t>(k % opts.window_size)] = 1;
+      ++s.claimed;
+      --nulls;
+      ++sent_nulls;
+    }
+    if (sent_nulls > 0) {
+      work += kPerNullCost * static_cast<sim::Nanos>(sent_nulls);
+      counters_.nulls_sent += sent_nulls;
+      ++counters_.null_iterations;
+      acted = true;
+    }
+  }
+
+  // ---- Send predicate ----
+  // With batching: aggregate every queued message (application data and
+  // nulls) into contiguous ring-range writes. Without batching the sender
+  // thread posts application messages inline; this predicate then only
+  // flushes nulls.
+  if (s.claimed > s.pushed) {
+    work += cpu.predicate_eval;
+    plan.send_first = s.pushed;
+    plan.send_last = s.claimed;
+    std::uint64_t app_msgs = 0;
+    for (std::int64_t i = plan.send_first; i < plan.send_last; ++i) {
+      if (!s.is_null[static_cast<std::size_t>(i % opts.window_size)]) {
+        ++app_msgs;
+      }
+    }
+    if (app_msgs > 0) counters_.send_batches.add(app_msgs);
+    s.pushed = s.claimed;  // claimed now so no double-push after unlock
+    acted = true;
+  }
+
+  // ---- Delivery predicate ----
+  work += cpu.predicate_eval +
+          cpu.per_member_check * static_cast<sim::Nanos>(s.cfg.members.size());
+  std::int64_t stable = INT64_MAX;
+  for (std::size_t rank : s.member_sst_ranks) {
+    stable = std::min(stable, sst_->read_i64(rank, s.f_received));
+  }
+  if (stable > s.delivered_num) {
+    const std::int64_t limit =
+        opts.delivery_batching ? stable : s.delivered_num + 1;
+    std::uint64_t batch_delivered = 0;
+    const bool batched_upcall =
+        static_cast<bool>(s.batch_handler) &&
+        opts.mode == DeliveryMode::atomic;
+    s.batch_buffer.clear();
+    for (std::int64_t seq = s.delivered_num + 1; seq <= limit; ++seq) {
+      const auto j = static_cast<std::size_t>(
+          seq % static_cast<std::int64_t>(S));
+      const std::int64_t k = seq / static_cast<std::int64_t>(S);
+      const smc::SlotTrailer t = s.ring->trailer(j, k);
+      assert(t.count == k + 1 && "stable message must be present locally");
+      work += cold(cpu.per_message_delivery);
+      if (!(t.flags & smc::kNullFlag)) {
+        if (opts.mode == DeliveryMode::atomic) {
+          if (opts.memcpy_on_delivery) work += cpu.memcpy_cost(t.len);
+          const Delivery d{s.id, j, seq, k, s.ring->message(j, k, t.len)};
+          if (s.delivery_cost_hook) work += s.delivery_cost_hook(d);
+          if (opts.persistent) work += enqueue_persist(s, seq, d.data);
+          if (batched_upcall) {
+            // §3.5 mitigation 1: defer to one upcall for the whole batch;
+            // only the marginal per-message cost accrues here.
+            s.batch_buffer.push_back(d);
+          } else {
+            work += cpu.upcall_cost + opts.extra_upcall_delay;
+            if (s.handler) s.handler(d);
+          }
+          ++counters_.messages_delivered;
+          counters_.bytes_delivered += t.len;
+          ++delivered_total_;
+          ++delivered_per_sg_[s.id];
+          const sim::Nanos sent = cluster_.send_time(s.id, j, k);
+          if (sent >= 0) {
+            counters_.delivery_latency_ns.add(
+                static_cast<std::uint64_t>(eng.now() + work - sent));
+          }
+        }
+        // In unordered mode the upcall already happened at reception; the
+        // delivery pass only advances delivered_num to recycle slots.
+      }
+      s.delivered_num = seq;
+      ++batch_delivered;
+    }
+    if (batched_upcall && !s.batch_buffer.empty()) {
+      work += cpu.upcall_cost + opts.extra_upcall_delay;  // once per batch
+      s.batch_handler(s.batch_buffer);
+    }
+    sst_->write_local_i64(s.f_delivered, s.delivered_num);
+    plan.delivered_pushes =
+        opts.delivery_batching ? 1 : static_cast<int>(batch_delivered);
+    counters_.delivery_batches.add(batch_delivered);
+    acted = true;
+  }
+
+  // ---- Persistence predicate (persistent mode) ----
+  // The durable-Paxos commit frontier: min persisted_num over members.
+  if (opts.persistent && s.persist_handler) {
+    work += cpu.predicate_eval;
+    std::int64_t frontier = INT64_MAX;
+    for (std::size_t rank : s.member_sst_ranks) {
+      frontier = std::min(frontier, sst_->read_i64(rank, s.f_persisted));
+    }
+    if (frontier > s.persisted_global) {
+      s.persisted_global = frontier;
+      work += cpu.upcall_cost;
+      s.persist_handler(frontier);
+      acted = true;
+    }
+  }
+
+  return acted;
+}
+
+sim::Nanos Node::enqueue_persist(SubgroupState& s, std::int64_t seq,
+                                 std::span<const std::byte> data) {
+  // Stage the message out of the ring (the slot will be recycled long
+  // before the SSD flush) and wake the write-behind logger.
+  s.persist_queue.push_back(
+      SubgroupState::PersistEntry{seq, {data.begin(), data.end()}});
+  s.persist_signal->signal();
+  return cluster_.cpu().memcpy_cost(data.size());
+}
+
+sim::Co<> Node::persist_logger(SubgroupState& s) {
+  auto& eng = cluster_.engine();
+  const CpuModel& cpu = cluster_.cpu();
+  while (!stopped_) {
+    if (s.persist_queue.empty()) {
+      co_await s.persist_signal->wait_for(cpu.idle_backoff_max);
+      continue;
+    }
+    // Opportunistic batching on the persistence path too: flush everything
+    // queued with one op latency, then publish persisted_num once.
+    sim::Nanos cost = cpu.ssd_op_latency;
+    std::int64_t last_seq = s.persisted_local;
+    while (!s.persist_queue.empty()) {
+      auto entry = std::move(s.persist_queue.front());
+      s.persist_queue.pop_front();
+      cost += cpu.ssd_append_cost(entry.bytes.size());
+      last_seq = entry.seq;
+      s.log.push_back(std::move(entry.bytes));
+    }
+    co_await eng.sleep(cost);
+    // The frontier covers trailing nulls: everything delivered up to the
+    // next queued entry (or delivered_num) is persisted.
+    s.persisted_local = s.persist_queue.empty()
+                            ? s.delivered_num
+                            : s.persist_queue.front().seq - 1;
+    if (s.persisted_local < last_seq) s.persisted_local = last_seq;
+    sst_->write_local_i64(s.f_persisted, s.persisted_local);
+    const sim::Nanos post = sst_->push_field(s.f_persisted, s.peer_ranks);
+    if (post > 0) co_await eng.sleep(post);
+  }
+}
+
+void Node::force_deliver_through(SubgroupId sg, std::int64_t trim) {
+  SubgroupState* sp = find(sg);
+  assert(sp != nullptr);
+  SubgroupState& s = *sp;
+  assert(s.wedged && "force delivery requires a wedged subgroup");
+  const auto S = static_cast<std::int64_t>(s.num_senders());
+  for (std::int64_t seq = s.delivered_num + 1; seq <= trim; ++seq) {
+    const auto j = static_cast<std::size_t>(seq % S);
+    const std::int64_t k = seq / S;
+    const smc::SlotTrailer t = s.ring->trailer(j, k);
+    assert(t.count == k + 1 && "trimmed message must be present locally");
+    if (!(t.flags & smc::kNullFlag) &&
+        s.cfg.opts.mode == DeliveryMode::atomic) {
+      const Delivery d{s.id, j, seq, k, s.ring->message(j, k, t.len)};
+      if (s.handler) s.handler(d);
+      ++counters_.messages_delivered;
+      counters_.bytes_delivered += t.len;
+      ++delivered_total_;
+      ++delivered_per_sg_[s.id];
+    }
+    s.delivered_num = seq;
+  }
+}
+
+sim::Nanos Node::issue_posts(SubgroupState& s, const PostPlan& plan) {
+  sim::Nanos post = 0;
+  const ProtocolOptions& opts = s.cfg.opts;
+
+  // Data writes for runs of application messages, then one trailer-range
+  // write covering the whole batch (nulls announce through trailers alone —
+  // the "k nulls as a single integer" of §3.3).
+  if (plan.send_first != plan.send_last) {
+    std::int64_t run_start = -1;
+    for (std::int64_t i = plan.send_first; i <= plan.send_last; ++i) {
+      const bool is_null =
+          i == plan.send_last ||
+          s.is_null[static_cast<std::size_t>(i % opts.window_size)] != 0;
+      if (!is_null && run_start < 0) run_start = i;
+      if (is_null && run_start >= 0) {
+        post += s.ring->push_data(run_start, i, s.ring_targets);
+        run_start = -1;
+      }
+    }
+    post += s.ring->push_trailers(plan.send_first, plan.send_last,
+                                  s.ring_targets);
+  }
+  for (int i = 0; i < plan.ack_pushes; ++i) {
+    post += sst_->push_field(s.f_received, s.peer_ranks);
+  }
+  for (int i = 0; i < plan.delivered_pushes; ++i) {
+    post += sst_->push_field(s.f_delivered, s.peer_ranks);
+  }
+  return post;
+}
+
+sim::Co<> Node::predicate_loop() {
+  auto& eng = cluster_.engine();
+  const CpuModel& cpu = cluster_.cpu();
+  auto& doorbell = cluster_.fabric().doorbell(id_);
+
+  int idle_streak = 0;
+  PostPlan plan;
+  while (!stopped_) {
+    bool progress = false;
+    sim::Nanos carry = 0;  // eval cost of quiet subgroups, slept once/iter
+
+    for (auto& sp : subgroups_) {
+      if (stopped_) break;
+      SubgroupState& s = *sp;
+      co_await lock_->lock();
+      plan = PostPlan{};
+      sim::Nanos work = 0;
+      const bool acted = process_subgroup_sync(s, work, plan);
+      s.predicate_cpu += work;
+      counters_.predicate_cpu += work;
+      if (!acted && plan.empty()) {
+        carry += work;
+        lock_->unlock();
+        continue;
+      }
+      progress = true;
+      co_await eng.sleep(work + carry);
+      carry = 0;
+      if (s.cfg.opts.early_lock_release) lock_->unlock();
+      const sim::Nanos post = issue_posts(s, plan);
+      if (post > 0) co_await eng.sleep(post);
+      if (!s.cfg.opts.early_lock_release) lock_->unlock();
+    }
+    if (stopped_) break;
+
+    sim::Nanos over = cpu.iteration_overhead + carry;
+    if (cpu.iteration_jitter > 0) {
+      over += static_cast<sim::Nanos>(
+          rng_.below(static_cast<std::uint64_t>(cpu.iteration_jitter)));
+    }
+    // An occasional scheduling hiccup (IRQ balancing, NUMA effects) — the
+    // kind of real-world delay §3.3 is designed to absorb.
+    over += hiccup_penalty(next_hiccup_);
+    co_await eng.sleep(over);
+
+    if (progress) {
+      idle_streak = 0;
+    } else if (++idle_streak >= 3) {
+      // Quiescent backoff; the fabric doorbell cuts the wait short when a
+      // remote write lands (§2.4's doorbell wake-up).
+      const int shift = std::min(idle_streak - 3, 8);
+      const sim::Nanos backoff = std::min(cpu.idle_backoff_min << shift,
+                                          cpu.idle_backoff_max);
+      co_await doorbell.wait_for(backoff);
+    }
+  }
+}
+
+}  // namespace spindle::core

@@ -1,0 +1,17 @@
+#include "core/options.hpp"
+
+namespace spindle::core {
+
+ProtocolOptions ProtocolOptions::baseline() {
+  ProtocolOptions o;
+  o.send_batching = false;
+  o.receive_batching = false;
+  o.delivery_batching = false;
+  o.null_sends = false;
+  o.early_lock_release = false;
+  return o;
+}
+
+ProtocolOptions ProtocolOptions::spindle() { return ProtocolOptions{}; }
+
+}  // namespace spindle::core

@@ -1,0 +1,449 @@
+#include "core/view.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace spindle::core {
+
+namespace {
+std::uint64_t bit(net::NodeId id) { return 1ull << id; }
+}  // namespace
+
+ManagedGroup::ManagedGroup(Config cfg, SubgroupLayout layout)
+    : cfg_(cfg),
+      layout_(std::move(layout)),
+      fabric_(engine_, cfg.timing, cfg.nodes),
+      rng_(cfg.seed ^ 0x5bd1e995u) {
+  if (cfg.nodes == 0 || cfg.nodes > 64) {
+    throw std::invalid_argument("ManagedGroup supports 1..64 nodes");
+  }
+  view_.epoch = 0;
+  for (std::size_t i = 0; i < cfg.nodes; ++i) {
+    view_.members.push_back(static_cast<net::NodeId>(i));
+  }
+  alive_.assign(cfg.nodes, 1);
+  num_subgroups_ = layout_(view_).size();
+  if (num_subgroups_ == 0) {
+    throw std::invalid_argument("layout must define at least one subgroup");
+  }
+  queues_.resize(cfg.nodes);
+  handlers_.resize(cfg.nodes);
+  for (std::size_t i = 0; i < cfg.nodes; ++i) {
+    queues_[i].resize(num_subgroups_);
+    handlers_[i].resize(num_subgroups_);
+  }
+}
+
+ManagedGroup::~ManagedGroup() { shutdown(); }
+
+void ManagedGroup::start() {
+  // Membership SST: rows for every node that will ever exist; survives
+  // across epochs (its memory is registered once).
+  sst::Layout layout;
+  f_hb_ = layout.add_i64("heartbeat");
+  f_susp_ = layout.add_i64("suspected_mask");
+  f_wedged_epoch_ = layout.add_i64("wedged_epoch");
+  f_installed_ = layout.add_i64("installed_epoch");
+  for (std::size_t g = 0; g < num_subgroups_; ++g) {
+    f_frozen_.push_back(layout.add_i64("frozen[" + std::to_string(g) + "]"));
+  }
+  for (std::size_t g = 0; g < num_subgroups_; ++g) {
+    f_trim_.push_back(layout.add_i64("trim[" + std::to_string(g) + "]"));
+  }
+  f_prop_epoch_ = layout.add_i64("proposed_epoch");
+  f_prop_failed_ = layout.add_i64("proposed_failed_mask");
+  f_prop_guard_ = layout.add_i64("proposal_guard");
+
+  std::vector<net::NodeId> all = view_.members;
+  std::vector<sst::Sst*> ssts;
+  for (net::NodeId id : all) {
+    member_sst_.push_back(
+        std::make_unique<sst::Sst>(fabric_, id, all, layout));
+    for (auto f : f_frozen_) member_sst_.back()->init_field_all_rows_i64(f, -1);
+    for (auto f : f_trim_) member_sst_.back()->init_field_all_rows_i64(f, -1);
+    ssts.push_back(member_sst_.back().get());
+  }
+  sst::Sst::connect(ssts);
+
+  mstate_.resize(cfg_.nodes);
+  for (auto& m : mstate_) {
+    m.last_hb.assign(cfg_.nodes, 0);
+    m.last_change.assign(cfg_.nodes, 0);
+  }
+
+  build_epoch_cluster();
+
+  for (net::NodeId id : view_.members) {
+    engine_.spawn(membership_actor(id));
+  }
+  engine_.spawn(coordinator_actor());
+}
+
+void ManagedGroup::build_epoch_cluster() {
+  ClusterConfig cc;
+  cc.nodes = cfg_.nodes;
+  cc.timing = cfg_.timing;
+  cc.cpu = cfg_.cpu;
+  cc.seed = cfg_.seed + view_.epoch + 1;
+  epoch_cluster_ =
+      std::make_unique<Cluster>(engine_, fabric_, cc, view_.members);
+
+  const auto subgroups = layout_(view_);
+  if (subgroups.size() != num_subgroups_) {
+    throw std::logic_error("layout must return a fixed number of subgroups");
+  }
+  epoch_subgroups_.clear();
+  for (const auto& sc : subgroups) {
+    epoch_subgroups_.push_back(epoch_cluster_->create_subgroup(sc));
+  }
+  epoch_cluster_->start();
+
+  // Wire delivery handlers: pop the sender's pending queue on
+  // self-delivery, then forward to the application handler.
+  for (std::size_t g = 0; g < num_subgroups_; ++g) {
+    const SubgroupId sg = epoch_subgroups_[g];
+    const auto& sc = epoch_cluster_->subgroup_config(sg);
+    for (net::NodeId member : sc.members) {
+      epoch_cluster_->node(member).set_delivery_handler(
+          sg, [this, g, member, sg](const Delivery& d) {
+            const auto& senders =
+                epoch_cluster_->subgroup_config(sg).senders;
+            if (senders[d.sender] == member) {
+              auto& q = queues_[member][g].q;
+              assert(!q.empty() && q.front().in_flight &&
+                     "self-delivery without a pending entry");
+              q.pop_front();
+            }
+            if (handlers_[member][g]) handlers_[member][g](d);
+          });
+    }
+  }
+  changing_ = false;
+}
+
+void ManagedGroup::set_delivery_handler(net::NodeId node,
+                                        std::size_t subgroup_index,
+                                        DeliveryHandler handler) {
+  handlers_[node][subgroup_index] = std::move(handler);
+}
+
+void ManagedGroup::send(net::NodeId from, std::size_t subgroup_index,
+                        std::vector<std::byte> payload) {
+  assert(subgroup_index < num_subgroups_);
+  auto& sq = queues_[from][subgroup_index];
+  sq.q.push_back(PendingMessage{std::move(payload), false});
+  if (!sq.pump_running) {
+    sq.pump_running = true;
+    engine_.spawn(pump_actor(from, subgroup_index));
+  }
+}
+
+sim::Co<> ManagedGroup::pump_actor(net::NodeId id, std::size_t sg_index) {
+  auto& sq = queues_[id][sg_index];
+  for (;;) {
+    if (stopped_ || !alive_[id]) co_return;
+    if (changing_ || epoch_cluster_ == nullptr ||
+        !epoch_cluster_->is_member(id)) {
+      co_await engine_.sleep(cfg_.heartbeat_period);
+      continue;
+    }
+    PendingMessage* next = nullptr;
+    for (auto& e : sq.q) {
+      if (!e.in_flight) {
+        next = &e;
+        break;
+      }
+    }
+    if (next == nullptr) {
+      co_await engine_.sleep(cfg_.heartbeat_period);
+      continue;
+    }
+    Cluster* c = epoch_cluster_.get();
+    const SubgroupState* state =
+        c->node(id).find(epoch_subgroups_[sg_index]);
+    if (state == nullptr || !state->is_sender()) {
+      co_await engine_.sleep(cfg_.heartbeat_period);
+      continue;
+    }
+    next->in_flight = true;
+    // Copy the payload into the ring slot: deque iterators/pointers may be
+    // invalidated by concurrent send() calls, so capture the bytes.
+    std::vector<std::byte> bytes = next->payload;
+    co_await c->node(id).send(
+        epoch_subgroups_[sg_index], static_cast<std::uint32_t>(bytes.size()),
+        [&bytes](std::span<std::byte> buf) {
+          std::memcpy(buf.data(), bytes.data(), bytes.size());
+        });
+  }
+}
+
+sim::Co<> ManagedGroup::membership_actor(net::NodeId id) {
+  sst::Sst& sst = *member_sst_[id];
+  MemberState& ms = mstate_[id];
+  std::vector<std::size_t> everyone;
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) everyone.push_back(i);
+  sim::Rng rng = rng_.fork();
+
+  std::int64_t hb = 0;
+  while (!stopped_ && alive_[id]) {
+    // 1. Heartbeat.
+    sst.write_local_i64(f_hb_, ++hb);
+    sim::Nanos post = sst.push_field(f_hb_, everyone);
+
+    const sim::Nanos now = engine_.now();
+    bool row_dirty = false;
+
+    // Suspicions are scoped to the *current* view: bits for nodes already
+    // removed are stale SST contents from the previous epoch and must be
+    // ignored, or every install would immediately trigger another.
+    std::uint64_t member_mask = 0;
+    for (net::NodeId m : view_.members) member_mask |= bit(m);
+    ms.suspected_mask &= member_mask;
+
+    // 2. Failure detection + suspicion adoption.
+    for (net::NodeId peer : view_.members) {
+      if (peer == id) continue;
+      const std::int64_t seen = sst.read_i64(peer, f_hb_);
+      if (seen != ms.last_hb[peer]) {
+        ms.last_hb[peer] = seen;
+        ms.last_change[peer] = now;
+      } else if (now - ms.last_change[peer] > cfg_.failure_timeout &&
+                 !(ms.suspected_mask & bit(peer))) {
+        ms.suspected_mask |= bit(peer);
+        row_dirty = true;
+      }
+      if (!(ms.suspected_mask & bit(peer))) {
+        const auto theirs = static_cast<std::uint64_t>(
+                                sst.read_i64(peer, f_susp_)) &
+                            member_mask;
+        if ((theirs & ~ms.suspected_mask) != 0) {
+          ms.suspected_mask |= theirs;
+          row_dirty = true;
+        }
+      }
+    }
+    if (row_dirty) {
+      sst.write_local_i64(f_susp_,
+                          static_cast<std::int64_t>(ms.suspected_mask));
+      post += sst.push_field(f_susp_, everyone);
+    }
+
+    // 3. Wedge on any suspicion: freeze the data plane and publish frozen
+    // received_nums (data first, then the wedged_epoch guard).
+    if (ms.suspected_mask != 0 && !ms.wedged) {
+      ms.wedged = true;
+      changing_ = true;
+      wedge_node(id);
+      post += sst.push(f_frozen_.front(), f_frozen_.back(), everyone);
+      sst.write_local_i64(f_wedged_epoch_, view_.epoch + 1);
+      post += sst.push_field(f_wedged_epoch_, everyone);
+    }
+
+    // 4. Leader: once every survivor has wedged, publish the ragged trim.
+    if (ms.wedged) {
+      const net::NodeId leader = current_leader(ms.suspected_mask);
+      if (leader == id) {
+        bool all_wedged = true;
+        for (net::NodeId peer : view_.members) {
+          if (ms.suspected_mask & bit(peer)) continue;
+          if (sst.read_i64(peer, f_wedged_epoch_) <
+              static_cast<std::int64_t>(view_.epoch + 1)) {
+            all_wedged = false;
+            break;
+          }
+        }
+        if (all_wedged &&
+            sst.read_i64(id, f_prop_guard_) <
+                static_cast<std::int64_t>(view_.epoch + 1)) {
+          for (std::size_t g = 0; g < num_subgroups_; ++g) {
+            std::int64_t trim = INT64_MAX;
+            for (net::NodeId peer : view_.members) {
+              if (ms.suspected_mask & bit(peer)) continue;
+              trim = std::min(trim, sst.read_i64(peer, f_frozen_[g]));
+            }
+            sst.write_local_i64(f_trim_[g], trim);
+          }
+          sst.write_local_i64(f_prop_epoch_, view_.epoch + 1);
+          sst.write_local_i64(
+              f_prop_failed_,
+              static_cast<std::int64_t>(ms.suspected_mask));
+          post += sst.push(f_trim_.front(), f_prop_failed_, everyone);
+          sst.write_local_i64(f_prop_guard_, view_.epoch + 1);
+          post += sst.push_field(f_prop_guard_, everyone);
+        }
+      }
+      // 5. Everyone: acknowledge the current leader's proposal.
+      if (sst.read_i64(leader, f_prop_guard_) ==
+          static_cast<std::int64_t>(view_.epoch + 1)) {
+        ms.saw_proposal = true;
+      }
+    }
+
+    co_await engine_.sleep(post + cfg_.heartbeat_period +
+                           static_cast<sim::Nanos>(rng.below(2000)));
+  }
+}
+
+std::uint64_t ManagedGroup::all_suspicions() const {
+  std::uint64_t member_mask = 0;
+  for (net::NodeId m : view_.members) member_mask |= bit(m);
+  std::uint64_t mask = 0;
+  for (net::NodeId id : view_.members) {
+    if (alive_[id]) mask |= mstate_[id].suspected_mask;
+  }
+  return mask & member_mask;
+}
+
+net::NodeId ManagedGroup::current_leader(std::uint64_t suspected) const {
+  for (net::NodeId id : view_.members) {
+    if (!(suspected & bit(id))) return id;
+  }
+  return view_.members.front();
+}
+
+sim::Co<> ManagedGroup::coordinator_actor() {
+  // The install barrier, coordinated centrally (see class comment): waits
+  // until every survivor has observed the leader's proposal, then performs
+  // the trim delivery and installs the next view.
+  while (!stopped_) {
+    co_await engine_.sleep(cfg_.heartbeat_period);
+    if (!changing_) continue;
+
+    const std::uint64_t suspected = all_suspicions();
+    if (suspected == 0) continue;
+    const net::NodeId leader = current_leader(suspected);
+    if (!alive_[leader]) continue;  // leader crashed: suspicion will spread
+    sst::Sst& lsst = *member_sst_[leader];
+    if (lsst.read_i64(leader, f_prop_guard_) !=
+        static_cast<std::int64_t>(view_.epoch + 1)) {
+      continue;
+    }
+    const auto failed_mask =
+        static_cast<std::uint64_t>(lsst.read_i64(leader, f_prop_failed_));
+    bool all_saw = true;
+    for (net::NodeId id : view_.members) {
+      if (failed_mask & bit(id)) continue;
+      if (!mstate_[id].saw_proposal || !mstate_[id].wedged) {
+        all_saw = false;
+        break;
+      }
+    }
+    if (!all_saw) continue;
+
+    std::vector<std::int64_t> trim(num_subgroups_);
+    for (std::size_t g = 0; g < num_subgroups_; ++g) {
+      trim[g] = lsst.read_i64(leader, f_trim_[g]);
+    }
+    install_next_view(failed_mask, trim);
+  }
+}
+
+void ManagedGroup::wedge_node(net::NodeId id) {
+  if (epoch_cluster_ == nullptr || !epoch_cluster_->is_member(id)) return;
+  Node& node = epoch_cluster_->node(id);
+  node.wedge_all();
+  sst::Sst& sst = *member_sst_[id];
+  for (std::size_t g = 0; g < num_subgroups_; ++g) {
+    const SubgroupState* s = node.find(epoch_subgroups_[g]);
+    sst.write_local_i64(f_frozen_[g], s != nullptr ? s->received_num : -1);
+  }
+}
+
+void ManagedGroup::install_next_view(std::uint64_t failed_mask,
+                                     const std::vector<std::int64_t>& trim) {
+  // Halt the old epoch's data plane, then deliver the ragged trim.
+  for (net::NodeId id : view_.members) {
+    if (!alive_[id] || !epoch_cluster_->is_member(id)) continue;
+    epoch_cluster_->node(id).stop();
+  }
+  for (net::NodeId id : view_.members) {
+    if ((failed_mask & bit(id)) || !alive_[id]) continue;
+    if (!epoch_cluster_->is_member(id)) continue;
+    Node& node = epoch_cluster_->node(id);
+    for (std::size_t g = 0; g < num_subgroups_; ++g) {
+      if (node.find(epoch_subgroups_[g]) == nullptr) continue;
+      node.force_deliver_through(epoch_subgroups_[g], trim[g]);
+    }
+  }
+
+  // Compose the next view.
+  View next;
+  next.epoch = view_.epoch + 1;
+  for (net::NodeId id : view_.members) {
+    if (failed_mask & bit(id)) {
+      next.departed.push_back(id);
+      if (alive_[id]) {
+        // Graceful leave: the node departs now.
+        alive_[id] = 0;
+        fabric_.isolate(id);
+      }
+    } else if (alive_[id]) {
+      next.members.push_back(id);
+    }
+  }
+  if (next.members.empty()) {
+    stopped_ = true;
+    return;
+  }
+  view_ = std::move(next);
+
+  // Reset per-member view-change state and requeue undelivered messages.
+  for (net::NodeId id : view_.members) {
+    mstate_[id].suspected_mask = 0;
+    mstate_[id].wedged = false;
+    mstate_[id].saw_proposal = false;
+    for (net::NodeId peer : view_.members) {
+      mstate_[id].last_change[peer] = engine_.now();
+    }
+    sst::Sst& sst = *member_sst_[id];
+    sst.write_local_i64(f_susp_, 0);
+    sst.write_local_i64(f_installed_, view_.epoch);
+  }
+  for (auto& per_node : queues_) {
+    for (auto& sq : per_node) {
+      for (auto& e : sq.q) e.in_flight = false;
+    }
+  }
+
+  epoch_cluster_->shutdown();
+  retired_.push_back(std::move(epoch_cluster_));
+  build_epoch_cluster();
+}
+
+void ManagedGroup::crash(net::NodeId node) {
+  alive_[node] = 0;
+  fabric_.isolate(node);
+  if (epoch_cluster_ && epoch_cluster_->is_member(node)) {
+    epoch_cluster_->node(node).stop();
+  }
+}
+
+void ManagedGroup::leave(net::NodeId node) {
+  // Announced departure: the node suspects itself; the normal wedge/trim
+  // machinery runs, and the node is removed at the next view install.
+  if (!alive_[node]) return;
+  mstate_[node].suspected_mask |= bit(node);
+  sst::Sst& sst = *member_sst_[node];
+  sst.write_local_i64(f_susp_,
+                      static_cast<std::int64_t>(mstate_[node].suspected_mask));
+  std::vector<std::size_t> everyone;
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) everyone.push_back(i);
+  sst.push_field(f_susp_, everyone);
+}
+
+void ManagedGroup::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (epoch_cluster_) {
+    for (net::NodeId id : view_.members) {
+      if (alive_[id] && epoch_cluster_->is_member(id)) {
+        epoch_cluster_->node(id).stop();
+      }
+    }
+  }
+  engine_.run();
+}
+
+}  // namespace spindle::core

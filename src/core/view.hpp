@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/group.hpp"
+
+namespace spindle::core {
+
+/// A membership view (epoch) in the virtual synchrony model (§2.1): fixed,
+/// ordered membership known to every member; delivery order within the
+/// epoch is a pure function of it.
+struct View {
+  std::uint32_t epoch = 0;
+  std::vector<net::NodeId> members;
+  std::vector<net::NodeId> departed;  // removed in the transition to this view
+};
+
+/// Application-defined mapping from a view to its subgroups. Must return
+/// the same number of subgroups for every view (subgroup identity is
+/// positional across views); memberships may shrink as nodes depart.
+using SubgroupLayout = std::function<std::vector<SubgroupConfig>(const View&)>;
+
+/// Virtual-synchrony managed group: runs Derecho-style membership on top
+/// of the atomic multicast stack.
+///
+/// Protocol (a faithful simplification of Derecho's epoch termination):
+///  1. every member heartbeats through a dedicated membership SST;
+///  2. a member that misses heartbeats is *suspected*; suspicions propagate
+///     by OR-ing SST rows and are never retracted;
+///  3. on suspicion every member *wedges*: all subgroup sending, null
+///     generation, acknowledgment and delivery freeze, and the member
+///     publishes its frozen received_num values;
+///  4. the leader (lowest unsuspected rank) computes the ragged trim — per
+///     subgroup, the minimum frozen received_num over survivors — and
+///     publishes it (guarded write);
+///  5. survivors deliver exactly through the trim (messages at or below it
+///     were received by every survivor; messages above it are discarded
+///     everywhere), then install the next view with fresh SST/SMC memory;
+///  6. senders re-send their discarded messages in the new view, before
+///     any new messages (failure atomicity for surviving senders).
+///
+/// Simplifications vs. the full Derecho protocol, documented in DESIGN.md:
+/// the install barrier is coordinated centrally by the simulation (the
+/// distributed parts — suspicion, wedge, trim — run through the SST), and
+/// joins are not supported (the paper does not evaluate reconfiguration).
+class ManagedGroup {
+ public:
+  struct Config {
+    std::size_t nodes = 4;
+    net::TimingModel timing{};
+    CpuModel cpu{};
+    std::uint64_t seed = 1;
+    sim::Nanos heartbeat_period = sim::micros(20);
+    sim::Nanos failure_timeout = sim::micros(400);
+  };
+
+  ManagedGroup(Config cfg, SubgroupLayout layout);
+  ~ManagedGroup();
+  ManagedGroup(const ManagedGroup&) = delete;
+  ManagedGroup& operator=(const ManagedGroup&) = delete;
+
+  void start();
+  void shutdown();
+
+  sim::Engine& engine() noexcept { return engine_; }
+  net::Fabric& fabric() noexcept { return fabric_; }
+  const View& view() const noexcept { return view_; }
+  std::uint32_t epoch() const noexcept { return view_.epoch; }
+  bool view_change_in_progress() const noexcept { return changing_; }
+  std::uint32_t view_changes_completed() const noexcept {
+    return view_.epoch;
+  }
+  Cluster& cluster() { return *epoch_cluster_; }
+
+  /// Failure-atomic multicast: the payload is retained by the group and
+  /// automatically re-sent in the next view if a reconfiguration discards
+  /// it. Completes when the message has been queued (not delivered).
+  void send(net::NodeId from, std::size_t subgroup_index,
+            std::vector<std::byte> payload);
+
+  /// Deliveries at `node` for subgroup `subgroup_index`, across all views.
+  void set_delivery_handler(net::NodeId node, std::size_t subgroup_index,
+                            DeliveryHandler handler);
+
+  /// Crash `node`: its traffic is dropped and its threads halt; the other
+  /// members detect the failure and reconfigure.
+  void crash(net::NodeId node);
+
+  /// Graceful leave: the node wedges cleanly and departs with no message
+  /// loss (modeled as an announced suspicion).
+  void leave(net::NodeId node);
+
+  bool is_alive(net::NodeId node) const { return alive_[node]; }
+
+ private:
+  struct PendingMessage {
+    std::vector<std::byte> payload;
+    bool in_flight = false;  // handed to the current epoch's sender
+  };
+  /// Per (node, subgroup_index) failure-atomic send queue + pump actor.
+  struct SendQueue {
+    std::deque<PendingMessage> q;
+    bool pump_running = false;
+  };
+
+  // Membership service per-node state.
+  struct MemberState {
+    std::vector<std::int64_t> last_hb;        // last heartbeat value seen
+    std::vector<sim::Nanos> last_change;      // when it changed
+    std::uint64_t suspected_mask = 0;
+    bool wedged = false;
+    bool saw_proposal = false;
+  };
+
+  sim::Co<> membership_actor(net::NodeId id);
+  sim::Co<> coordinator_actor();
+  sim::Co<> pump_actor(net::NodeId id, std::size_t sg_index);
+
+  void wedge_node(net::NodeId id);
+  void install_next_view(std::uint64_t failed_mask,
+                         const std::vector<std::int64_t>& trim);
+  void build_epoch_cluster();
+  std::uint64_t all_suspicions() const;
+  net::NodeId current_leader(std::uint64_t suspected) const;
+
+  Config cfg_;
+  SubgroupLayout layout_;
+  sim::Engine engine_;
+  net::Fabric fabric_;
+  sim::Rng rng_;
+
+  View view_;
+  std::vector<char> alive_;
+  bool changing_ = false;
+  bool stopped_ = false;
+  std::size_t num_subgroups_ = 0;
+
+  // Membership SST (fixed over the lifetime: rows for every node ever).
+  std::vector<std::unique_ptr<sst::Sst>> member_sst_;
+  sst::FieldId f_hb_, f_susp_, f_wedged_epoch_, f_installed_;
+  sst::FieldId f_prop_epoch_, f_prop_failed_, f_prop_guard_;
+  std::vector<sst::FieldId> f_frozen_;  // per subgroup
+  std::vector<sst::FieldId> f_trim_;    // per subgroup (leader proposal)
+  std::vector<MemberState> mstate_;
+
+  std::unique_ptr<Cluster> epoch_cluster_;
+  std::vector<core::SubgroupId> epoch_subgroups_;  // index -> SubgroupId
+  // Retired epoch clusters: kept alive until shutdown because their
+  // (stopped) poller coroutines may still have one pending wake-up in the
+  // engine queue.
+  std::vector<std::unique_ptr<Cluster>> retired_;
+
+  // (node, sg_index) -> queue; handlers preserved across views.
+  std::vector<std::vector<SendQueue>> queues_;
+  std::vector<std::vector<DeliveryHandler>> handlers_;
+};
+
+}  // namespace spindle::core

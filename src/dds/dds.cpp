@@ -1,0 +1,215 @@
+#include "dds/dds.hpp"
+
+#include "dds/external.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace spindle::dds {
+
+const char* qos_name(Qos q) {
+  switch (q) {
+    case Qos::unordered:
+      return "unordered";
+    case Qos::atomic_multicast:
+      return "atomic multicast";
+    case Qos::volatile_storage:
+      return "volatile storage";
+    case Qos::logged_storage:
+      return "logged storage";
+  }
+  return "?";
+}
+
+Domain::Domain(core::ClusterConfig cfg) : cluster_(cfg) {}
+
+Domain::~Domain() { shutdown(); }
+
+void Domain::shutdown() {
+  for (auto& client : clients_) client->stop();
+  cluster_.shutdown();
+}
+
+std::uint8_t Domain::create_topic(TopicConfig cfg) {
+  if (started_) throw std::logic_error("create_topic after start()");
+  if (topics_.contains(cfg.topic_id)) {
+    throw std::invalid_argument("duplicate topic id");
+  }
+  if (cfg.publishers.empty()) throw std::invalid_argument("no publishers");
+
+  // Subgroup membership: publishers + subscribers (dedup, keep order:
+  // publishers first so the round-robin sender order is the publisher
+  // list). Senders are exactly the publishers.
+  core::SubgroupConfig sc;
+  sc.name = "topic:" + cfg.name;
+  sc.senders = cfg.publishers;
+  sc.members = cfg.publishers;
+  for (net::NodeId s : cfg.subscribers) {
+    if (std::find(sc.members.begin(), sc.members.end(), s) ==
+        sc.members.end()) {
+      sc.members.push_back(s);
+    }
+  }
+
+  sc.opts = cfg.opts;
+  sc.opts.max_msg_size = cfg.max_sample_size;
+  switch (cfg.qos) {
+    case Qos::unordered:
+      sc.opts.mode = core::DeliveryMode::unordered;
+      sc.opts.memcpy_on_delivery = false;
+      break;
+    case Qos::atomic_multicast:
+      sc.opts.mode = core::DeliveryMode::atomic;
+      sc.opts.memcpy_on_delivery = false;
+      break;
+    case Qos::volatile_storage:
+    case Qos::logged_storage:
+      // Storing QoS levels copy the sample out of the ring (§4.4/§4.6).
+      sc.opts.mode = core::DeliveryMode::atomic;
+      sc.opts.memcpy_on_delivery = true;
+      break;
+  }
+
+  TopicState ts;
+  ts.cfg = cfg;
+  ts.subgroup = cluster_.create_subgroup(sc);
+  const std::uint8_t id = cfg.topic_id;
+  topics_.emplace(id, std::move(ts));
+  return id;
+}
+
+Domain::TopicState& Domain::topic(std::uint8_t id) {
+  auto it = topics_.find(id);
+  if (it == topics_.end()) throw std::invalid_argument("unknown topic");
+  return it->second;
+}
+
+const Domain::TopicState& Domain::topic(std::uint8_t id) const {
+  auto it = topics_.find(id);
+  if (it == topics_.end()) throw std::invalid_argument("unknown topic");
+  return it->second;
+}
+
+void Domain::start() {
+  if (started_) throw std::logic_error("start() called twice");
+  started_ = true;
+  cluster_.start();
+
+  for (auto& [id, ts] : topics_) {
+    const std::uint8_t topic_id = id;
+    for (net::NodeId sub : ts.cfg.subscribers) {
+      auto reader = std::make_unique<DataReader>();
+      DataReader* r = reader.get();
+      const Qos qos = ts.cfg.qos;
+
+      std::vector<ExternalClient*> forwards;
+      if (auto it = ts.forwards.find(sub); it != ts.forwards.end()) {
+        forwards = it->second;
+      }
+      cluster_.node(sub).set_delivery_handler(
+          ts.subgroup,
+          [r, topic_id, qos, forwards](const core::Delivery& d) {
+            ++r->samples_;
+            if (qos == Qos::volatile_storage || qos == Qos::logged_storage) {
+              r->history_.emplace_back(d.data.begin(), d.data.end());
+              if (qos == Qos::logged_storage) {
+                r->logged_bytes_ += d.data.size();
+              }
+            }
+            const Sample sample{topic_id, d.sender, d.seq, d.data};
+            if (r->listener_) r->listener_(sample);
+            // Relay deliveries down to attached external clients (§4.6).
+            for (ExternalClient* c : forwards) c->forward_sample(sample);
+          });
+      if (qos == Qos::logged_storage) {
+        // The SSD append runs on the delivery path (paper: "data is
+        // additionally appended to a log file on SSD storage").
+        cluster_.node(sub).set_delivery_cost_hook(
+            ts.subgroup, [this](const core::Delivery& d) {
+              return ssd_.append_cost(d.data.size());
+            });
+      }
+      ts.readers.emplace(sub, std::move(reader));
+    }
+  }
+  for (auto& client : clients_) client->start();
+}
+
+DataWriter Domain::writer(net::NodeId node, std::uint8_t topic_id) {
+  TopicState& ts = topic(topic_id);
+  if (std::find(ts.cfg.publishers.begin(), ts.cfg.publishers.end(), node) ==
+      ts.cfg.publishers.end()) {
+    throw std::invalid_argument("node is not a publisher of this topic");
+  }
+  return DataWriter(this, topic_id, node);
+}
+
+DataReader& Domain::reader(net::NodeId node, std::uint8_t topic_id) {
+  TopicState& ts = topic(topic_id);
+  auto it = ts.readers.find(node);
+  if (it == ts.readers.end()) {
+    throw std::invalid_argument("node is not a subscriber of this topic");
+  }
+  return *it->second;
+}
+
+ExternalClient& Domain::create_external_client(std::uint8_t topic_id,
+                                               net::NodeId client_node,
+                                               net::NodeId relay,
+                                               ClientLinkModel link) {
+  if (started_) throw std::logic_error("create_external_client after start");
+  TopicState& ts = topic(topic_id);
+  if (std::find(ts.cfg.subscribers.begin(), ts.cfg.subscribers.end(),
+                relay) == ts.cfg.subscribers.end()) {
+    throw std::invalid_argument("relay must subscribe to the topic");
+  }
+  if (std::find(ts.cfg.publishers.begin(), ts.cfg.publishers.end(), relay) ==
+      ts.cfg.publishers.end()) {
+    throw std::invalid_argument(
+        "relay must be a publisher (it re-publishes client samples)");
+  }
+  for (net::NodeId m : ts.cfg.publishers) {
+    if (m == client_node) {
+      throw std::invalid_argument("client node must be outside the topic");
+    }
+  }
+  for (net::NodeId m : ts.cfg.subscribers) {
+    if (m == client_node) {
+      throw std::invalid_argument("client node must be outside the topic");
+    }
+  }
+  clients_.push_back(std::unique_ptr<ExternalClient>(
+      new ExternalClient(*this, topic_id, client_node, relay, link)));
+  ts.forwards[relay].push_back(clients_.back().get());
+  return *clients_.back();
+}
+
+std::uint64_t Domain::total_samples(std::uint8_t topic_id) const {
+  const TopicState& ts = topic(topic_id);
+  std::uint64_t total = 0;
+  for (const auto& [node, reader] : ts.readers) {
+    total += reader->samples_;
+  }
+  return total;
+}
+
+sim::Co<> DataWriter::publish(
+    std::uint32_t len, std::function<void(std::span<std::byte>)> builder) {
+  const core::SubgroupId sg = domain_->topic(topic_).subgroup;
+  co_await domain_->cluster().node(node_).send(sg, len, std::move(builder));
+}
+
+sim::Co<> DataWriter::publish_bytes(std::span<const std::byte> sample) {
+  const core::SubgroupId sg = domain_->topic(topic_).subgroup;
+  // Publishing from an external buffer pays the copy-in (§4.4) via the
+  // subgroup's memcpy_on_send option if configured; the copy itself is
+  // performed here.
+  co_await domain_->cluster().node(node_).send(
+      sg, static_cast<std::uint32_t>(sample.size()),
+      [sample](std::span<std::byte> buf) {
+        std::memcpy(buf.data(), sample.data(), sample.size());
+      });
+}
+
+}  // namespace spindle::dds

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "dds/dds.hpp"
+#include "smc/ring.hpp"
+
+namespace spindle::dds {
+
+/// Cost model for a client <-> relay connection. The paper's DDS supports
+/// external clients over TCP or RDMA; both are one-to-one links with an
+/// extra relaying step through a group member.
+struct ClientLinkModel {
+  /// Per-message software overhead at each endpoint (kernel TCP ~3 us;
+  /// set ~0.3 us to model an RDMA-connected client).
+  sim::Nanos per_message_overhead = 3'000;
+  /// Client/relay mailbox ring depth (messages in flight per direction).
+  std::uint32_t window = 256;
+};
+
+/// An external DDS participant: a process outside the Derecho top-level
+/// group that publishes to and subscribes from one topic through a *relay*
+/// member (§4.6: "external clients that connect to the DDS via TCP or
+/// RDMA, requiring an extra relaying step").
+///
+/// The connection is a pair of one-way mailbox rings (reusing the SMC ring
+/// machinery) between a dedicated fabric node (the client's machine) and
+/// the relay. The relay runs an actor that re-publishes the client's
+/// samples into the topic's subgroup — so client sends are totally ordered
+/// with member sends — and forwards every delivered sample back down the
+/// link.
+class ExternalClient {
+ public:
+  /// Queue a sample for publication through the relay. Completes when the
+  /// sample is handed to the link (not when delivered).
+  sim::Co<> publish_bytes(std::span<const std::byte> sample);
+
+  /// Listener for samples relayed down from the topic (runs on the
+  /// client's simulated thread).
+  void set_listener(SampleListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Halt the link actors (called by Domain::shutdown before teardown).
+  void stop() noexcept { stopped_ = true; }
+
+  std::uint64_t samples_received() const noexcept { return received_; }
+  std::uint64_t samples_published() const noexcept { return published_; }
+  net::NodeId node() const noexcept { return client_node_; }
+
+ private:
+  friend class Domain;
+  ExternalClient(Domain& domain, std::uint8_t topic, net::NodeId client_node,
+                 net::NodeId relay_node, ClientLinkModel link);
+
+  void start();  // spawn the relay and client actors (called by Domain)
+  /// Called from the relay's delivery upcall: stage a frame for the link.
+  void forward_sample(const Sample& s);
+  sim::Co<> relay_uplink_actor();  // relay: client ring -> topic publish
+  /// Drives both link endpoints' progress: relay-side shipping of staged
+  /// frames and client-side consumption (one actor models the two
+  /// cooperating link threads; their costs are charged per message).
+  sim::Co<> client_downlink_actor();
+
+  Domain& domain_;
+  std::uint8_t topic_;
+  net::NodeId client_node_;
+  net::NodeId relay_node_;
+  ClientLinkModel link_;
+
+  // Mailbox rings: index 0 = client->relay, index 1 = relay->client. Both
+  // instances of each ring exist (local copies at both endpoints).
+  std::unique_ptr<smc::RingGroup> up_at_client_, up_at_relay_;
+  std::unique_ptr<smc::RingGroup> down_at_relay_, down_at_client_;
+  std::int64_t up_sent_ = 0;       // client side: messages queued uplink
+  std::int64_t up_consumed_ = 0;   // relay side: messages relayed
+  std::int64_t down_sent_ = 0;     // relay side: samples forwarded
+  std::int64_t down_consumed_ = 0; // client side: samples upcalled
+
+  std::deque<std::vector<std::byte>> relay_out_;  // staged downlink frames
+
+  SampleListener listener_;
+  std::uint64_t received_ = 0;
+  std::uint64_t published_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace spindle::dds

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace spindle::dds {
+
+/// The DDS `Sequence` data type of §4.6: a plain byte sequence that needs
+/// no marshalling — samples of this type are constructed in place.
+using Sequence = std::vector<std::byte>;
+
+/// A small CDR-flavoured marshaller ("a standard OMG marshaller is used if
+/// a setting requires full generality", §3.1). Little-endian, 4-byte length
+/// prefixes for strings/sequences, natural alignment. Sufficient for the
+/// struct-of-scalars + byte-sequence types avionics DDS topics use.
+class Encoder {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T> && std::is_arithmetic_v<T>
+  Encoder& put(T value) {
+    align(sizeof(T));
+    const std::size_t off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &value, sizeof(T));
+    return *this;
+  }
+
+  Encoder& put_string(const std::string& s) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    const std::size_t off = buf_.size();
+    buf_.resize(off + s.size());
+    std::memcpy(buf_.data() + off, s.data(), s.size());
+    return *this;
+  }
+
+  Encoder& put_sequence(std::span<const std::byte> s) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+    return *this;
+  }
+
+  const std::vector<std::byte>& bytes() const noexcept { return buf_; }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void align(std::size_t a) {
+    while (buf_.size() % a != 0) buf_.push_back(std::byte{0});
+  }
+  std::vector<std::byte> buf_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T> && std::is_arithmetic_v<T>
+  T get() {
+    align(sizeof(T));
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string get_string() {
+    const auto len = get<std::uint32_t>();
+    require(len);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  Sequence get_sequence() {
+    const auto len = get<std::uint32_t>();
+    require(len);
+    Sequence s(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return s;
+  }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  void align(std::size_t a) {
+    while (pos_ % a != 0) {
+      require(1);
+      ++pos_;
+    }
+  }
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw std::out_of_range("dds::Decoder: truncated buffer");
+    }
+  }
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace spindle::dds

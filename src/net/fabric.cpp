@@ -1,0 +1,135 @@
+#include "net/fabric.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace spindle::net {
+
+Fabric::Fabric(sim::Engine& engine, const TimingModel& timing,
+               std::size_t n_nodes)
+    : engine_(engine),
+      timing_(timing),
+      n_(n_nodes),
+      isolated_(n_nodes, 0),
+      stats_(n_nodes),
+      egress_free_(n_nodes, 0),
+      ingress_free_(n_nodes, 0),
+      control_egress_free_(n_nodes, 0),
+      last_post_time_(n_nodes, -1),
+      burst_end_(n_nodes, -1) {
+  doorbells_.reserve(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    doorbells_.push_back(std::make_unique<sim::Signal>(engine));
+  }
+}
+
+RegionId Fabric::register_region(NodeId node, std::span<std::byte> mem,
+                                 Channel channel) {
+  assert(node < n_);
+  regions_.push_back(
+      Region{node, mem, channel, std::vector<sim::Nanos>(n_, 0)});
+  return RegionId{static_cast<std::uint32_t>(regions_.size() - 1)};
+}
+
+std::span<std::byte> Fabric::region_mem(RegionId id) {
+  assert(id.index < regions_.size());
+  return regions_[id.index].mem;
+}
+
+NodeId Fabric::region_node(RegionId id) const {
+  assert(id.index < regions_.size());
+  return regions_[id.index].node;
+}
+
+sim::Nanos Fabric::post_write(NodeId src_node, RegionId dst,
+                              std::size_t dst_offset,
+                              std::span<const std::byte> src) {
+  assert(dst.index < regions_.size());
+  Region& region = regions_[dst.index];
+  assert(dst_offset + src.size() <= region.mem.size() &&
+         "RDMA write out of registered region bounds");
+  const NodeId dst_node = region.node;
+  const sim::Nanos now = engine_.now();
+
+  // Burst detection: a post at the same instant as the previous one, or
+  // starting exactly where the previous post's CPU cost ended, continues a
+  // doorbell-batched burst.
+  const bool in_burst =
+      (now == last_post_time_[src_node]) || (now == burst_end_[src_node]);
+  const sim::Nanos cost =
+      in_burst ? timing_.post_cpu_next : timing_.post_cpu_first;
+  last_post_time_[src_node] = now;
+  burst_end_[src_node] = now + cost;
+
+  auto& st = stats_[src_node];
+  ++st.writes_posted;
+  st.bytes_posted += src.size();
+  st.post_cpu += cost;
+
+  if (isolated_[src_node] || isolated_[dst_node]) {
+    return cost;  // traffic silently dropped
+  }
+
+  if (src_node == dst_node) {
+    // Loopback: the NIC still performs the DMA, but we deliver immediately
+    // with no wire latency (Derecho writes to its own row locally and never
+    // posts self-writes; this path exists for completeness).
+    std::memcpy(region.mem.data() + dst_offset, src.data(), src.size());
+    ++st.writes_delivered;
+    return cost;
+  }
+
+  // The verb reaches the NIC when the CPU finishes posting it.
+  const sim::Nanos ready = now + cost;
+  const sim::Nanos occ = timing_.occupancy(src.size());
+
+  sim::Nanos delivery;
+  if (region.channel == Channel::control &&
+      timing_.separate_control_channel) {
+    // Control QPs (SST pushes) carry tiny writes and interleave with bulk
+    // traffic packet by packet: they serialize only among themselves and
+    // are never head-of-line blocked behind an SMC data batch.
+    const sim::Nanos egress_end =
+        std::max(control_egress_free_[src_node], ready) + occ;
+    control_egress_free_[src_node] = egress_end;
+    delivery = egress_end + timing_.latency_adder(src.size());
+  } else {
+    // Egress serialization at the sender's bulk lane.
+    const sim::Nanos egress_end =
+        std::max(egress_free_[src_node], ready) + occ;
+    egress_free_[src_node] = egress_end;
+    // Wire + pipelined stages, then ingress serialization at the receiver.
+    const sim::Nanos arrival = egress_end + timing_.latency_adder(src.size());
+    const sim::Nanos ingress_start =
+        std::max(arrival - occ, ingress_free_[dst_node]);
+    delivery = ingress_start + occ;
+    ingress_free_[dst_node] = delivery;
+  }
+
+  // FIFO within (source, region) — one QP (the memory fence of §2.2).
+  sim::Nanos& fifo = region.fifo[src_node];
+  if (delivery <= fifo) delivery = fifo + 1;
+  fifo = delivery;
+
+  // Snapshot the payload now (DMA reads source memory at transmission; the
+  // SST push discipline guarantees the source is not mutated in a way that
+  // violates monotonicity, but we snapshot for strict post-time semantics).
+  std::vector<std::byte> payload(src.begin(), src.end());
+  engine_.schedule_fn(
+      delivery, [this, dst, dst_offset, dst_node,
+                 data = std::move(payload)]() mutable {
+        if (isolated_[dst_node]) return;  // died while in flight
+        const Region& r = regions_[dst.index];
+        std::memcpy(r.mem.data() + dst_offset, data.data(), data.size());
+        ++stats_[dst_node].writes_delivered;
+        doorbells_[dst_node]->signal();
+      });
+  return cost;
+}
+
+void Fabric::isolate(NodeId node) {
+  assert(node < n_);
+  isolated_[node] = 1;
+}
+
+}  // namespace spindle::net

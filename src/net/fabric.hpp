@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "net/timing.hpp"
+#include "sim/engine.hpp"
+#include "sim/mutex.hpp"
+
+namespace spindle::net {
+
+using NodeId = std::uint32_t;
+
+/// Handle to a registered remote-writable memory region.
+struct RegionId {
+  std::uint32_t index = UINT32_MAX;
+  bool valid() const noexcept { return index != UINT32_MAX; }
+};
+
+/// Traffic class of a region, modeling Derecho's use of separate RDMA
+/// connections (QPs) for the SST and for SMC ring data. RDMA guarantees
+/// ordering only *within* a QP: writes to the same region from the same
+/// source stay FIFO (the memory-fence guarantee), but a tiny SST
+/// acknowledgment on the control QP is not head-of-line blocked behind a
+/// multi-hundred-KB SMC batch on the bulk QP — NICs interleave QPs
+/// packet by packet.
+enum class Channel { bulk, control };
+
+/// Simulated RDMA fabric: N nodes on a full-bisection switch.
+///
+/// Supports the one operation Derecho's small-message stack needs:
+/// one-sided RDMA WRITE into a pre-registered remote region. Guarantees
+/// modeled after the hardware properties the SST relies on (§2.2 of the
+/// paper):
+///
+///  * **per-link FIFO / memory fence** — two writes posted in order from A
+///    to B become visible at B in that order, never interleaved;
+///  * **cache-line atomicity** — a write's bytes appear at the destination
+///    all at once (the simulator copies the whole payload in one event);
+///  * **zero-copy** — payload is snapshotted at post time (DMA semantics)
+///    and placed directly into the destination's registered memory.
+///
+/// Failure injection: `isolate()` silently drops all traffic to and from a
+/// node, modeling a crash as seen by the network.
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, const TimingModel& timing, std::size_t n_nodes);
+
+  sim::Engine& engine() noexcept { return engine_; }
+  const TimingModel& timing() const noexcept { return timing_; }
+  std::size_t size() const noexcept { return n_; }
+
+  /// Register `mem` (owned by the caller, must outlive the Fabric's use) as
+  /// remotely writable memory of `node`.
+  RegionId register_region(NodeId node, std::span<std::byte> mem,
+                           Channel channel = Channel::bulk);
+
+  std::span<std::byte> region_mem(RegionId id);
+  NodeId region_node(RegionId id) const;
+
+  /// Post a one-sided write of `src` into (dst region, dst_offset).
+  ///
+  /// Returns the CPU cost of posting the verb, charged to the calling
+  /// simulated thread: the caller must `co_await engine.sleep(cost)`
+  /// immediately (or accumulate costs of a burst and sleep once).
+  /// Consecutive posts at the same virtual timestamp, or back-to-back after
+  /// sleeping the returned cost, form a burst and are charged the cheaper
+  /// `post_cpu_next`.
+  sim::Nanos post_write(NodeId src_node, RegionId dst, std::size_t dst_offset,
+                        std::span<const std::byte> src);
+
+  /// Doorbell of a node: signalled whenever a write lands in any of the
+  /// node's regions. Pollers use it to wake from quiescent backoff.
+  sim::Signal& doorbell(NodeId node) { return *doorbells_[node]; }
+
+  /// Crash-style isolation: all in-flight and future traffic involving
+  /// `node` is dropped.
+  void isolate(NodeId node);
+  bool is_isolated(NodeId node) const { return isolated_[node]; }
+
+  struct NicStats {
+    std::uint64_t writes_posted = 0;
+    std::uint64_t bytes_posted = 0;
+    std::uint64_t writes_delivered = 0;
+    sim::Nanos post_cpu = 0;
+  };
+  const NicStats& stats(NodeId node) const { return stats_[node]; }
+
+ private:
+  struct Region {
+    NodeId node;
+    std::span<std::byte> mem;
+    Channel channel;
+    // Per-source last delivery time: FIFO within (source, region), i.e.
+    // within one QP — the RDMA memory-fence guarantee of §2.2.
+    std::vector<sim::Nanos> fifo;
+  };
+
+  sim::Engine& engine_;
+  TimingModel timing_;
+  std::size_t n_;
+  std::vector<Region> regions_;
+  std::vector<std::unique_ptr<sim::Signal>> doorbells_;
+  std::vector<char> isolated_;
+  std::vector<NicStats> stats_;
+
+  // NIC port availability (bulk lane) and a lightly-loaded control lane
+  // (SST QPs) that interleaves with bulk traffic, per node.
+  std::vector<sim::Nanos> egress_free_;
+  std::vector<sim::Nanos> ingress_free_;
+  std::vector<sim::Nanos> control_egress_free_;
+  std::vector<sim::Nanos> last_post_time_;
+  std::vector<sim::Nanos> burst_end_;
+};
+
+}  // namespace spindle::net

@@ -1,0 +1,68 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace spindle::sim {
+
+void Engine::schedule_handle(Nanos at, std::coroutine_handle<> h) {
+  assert(at >= now_ && "cannot schedule into the past");
+  queue_.push(Event{at, seq_++, h, nullptr});
+}
+
+void Engine::schedule_fn(Nanos at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  queue_.push(Event{at, seq_++, nullptr, std::move(fn)});
+}
+
+namespace {
+DetachedTask run_detached(Co<> actor) { co_await std::move(actor); }
+}  // namespace
+
+void Engine::spawn(Co<> actor) {
+  auto task = run_detached(std::move(actor));
+  schedule_handle(now_, task.handle);
+}
+
+void Engine::dispatch(Event& ev) {
+  now_ = ev.at;
+  ++steps_;
+  if (ev.handle) {
+    ev.handle.resume();
+  } else {
+    ev.fn();
+  }
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the event is moved out via const_cast,
+  // which is safe because we pop immediately and never re-inspect it.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  dispatch(ev);
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+bool Engine::run_until(const std::function<bool()>& stop_condition,
+                       Nanos max_virtual) {
+  while (!stop_condition()) {
+    if (max_virtual > 0 && now_ > max_virtual) return false;
+    if (!step()) return stop_condition();
+  }
+  return true;
+}
+
+void Engine::run_to(Nanos t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace spindle::sim

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace spindle::sim {
+
+/// Deterministic discrete-event simulation engine.
+///
+/// A single real thread processes events in (virtual-time, insertion-seq)
+/// order, so runs are bit-reproducible. Simulated node threads are
+/// coroutines; "spending CPU" or "waiting" is expressed as
+/// `co_await engine.sleep(d)`. Two events at the same timestamp run in
+/// insertion order (stable FIFO), which the simulated mutex and the NIC
+/// FIFO guarantees rely on.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Nanos now() const noexcept { return now_; }
+  std::uint64_t steps() const noexcept { return steps_; }
+
+  /// Schedule a raw coroutine resume at absolute virtual time `at`.
+  void schedule_handle(Nanos at, std::coroutine_handle<> h);
+
+  /// Schedule a callback at absolute virtual time `at`.
+  void schedule_fn(Nanos at, std::function<void()> fn);
+
+  /// Awaitable: suspend the calling coroutine for `d` virtual nanoseconds.
+  auto sleep(Nanos d) {
+    struct Awaiter {
+      Engine& engine;
+      Nanos delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine.schedule_handle(engine.now_ + delay, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d < 0 ? 0 : d};
+  }
+
+  /// Launch a detached actor. The coroutine starts at the current virtual
+  /// time and runs until completion; its frame is owned by the engine root.
+  void spawn(Co<> actor);
+
+  /// Process a single event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the event queue drains.
+  void run();
+
+  /// Run until `stop_condition()` holds (checked between events) or the
+  /// queue drains. Returns true if the condition was met. `max_virtual`
+  /// (if > 0) aborts runs that exceed that virtual time — a watchdog for
+  /// protocol stalls in tests.
+  bool run_until(const std::function<bool()>& stop_condition,
+                 Nanos max_virtual = 0);
+
+  /// Run until virtual time reaches `t` (events at exactly `t` included).
+  void run_to(Nanos t);
+
+ private:
+  struct Event {
+    Nanos at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;  // either handle or fn is set
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event& ev);
+
+  Nanos now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t steps_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace spindle::sim

@@ -1,0 +1,80 @@
+#include "sim/mutex.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace spindle::sim {
+
+void Mutex::unlock() {
+  assert(locked_ && "unlock of an unlocked mutex");
+  if (waiters_.empty()) {
+    locked_ = false;
+    return;
+  }
+  Waiter next = waiters_.front();
+  waiters_.pop_front();
+  total_wait_ += engine_.now() - next.since;
+  ++acquisitions_;
+  // Ownership transfers to `next`; the mutex stays locked. Resume through
+  // the event queue so stacks never nest.
+  engine_.schedule_handle(engine_.now(), next.handle);
+}
+
+Co<bool> Signal::wait_for(Nanos timeout) {
+  auto state = std::make_shared<WaitState>();
+  waiters_.push_back(state);
+
+  struct Suspend {
+    Engine& engine;
+    std::shared_ptr<WaitState> state;
+    Nanos timeout;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      state->handle = h;
+      // The timeout event checks whether the signal already fired; if so it
+      // is a no-op (the waiter was resumed by signal()).
+      engine.schedule_fn(engine.now() + timeout, [s = state] {
+        if (!s->fired && s->handle) {
+          s->timed_out = true;
+          auto h = s->handle;
+          s->handle = nullptr;
+          h.resume();
+        }
+      });
+    }
+    void await_resume() const noexcept {}
+  };
+
+  // NOTE: the awaiter must be a named local, not a temporary. GCC 12
+  // destroys subobjects of a temporary awaiter in `co_await Suspend{...}`
+  // prematurely, releasing the shared state while the coroutine is still
+  // suspended (observed as a use-after-free under ASan).
+  Suspend suspend{engine_, state, timeout};
+  co_await suspend;
+
+  if (state->timed_out) {
+    // Drop our stale registration so an idle poller that only ever times
+    // out does not grow the waiter list unboundedly.
+    std::erase(waiters_, state);
+  }
+  co_return !state->timed_out;
+}
+
+void Signal::signal() {
+  ++signals_;
+  ++generation_;
+  auto pending = std::move(waiters_);
+  waiters_.clear();
+  for (auto& s : pending) {
+    if (!s->timed_out && !s->fired) {
+      s->fired = true;
+      if (s->handle) {
+        auto h = s->handle;
+        s->handle = nullptr;
+        engine_.schedule_handle(engine_.now(), h);
+      }
+    }
+  }
+}
+
+}  // namespace spindle::sim

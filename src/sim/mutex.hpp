@@ -1,0 +1,119 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace spindle::sim {
+
+/// Simulated mutex with FIFO handoff. Contention statistics are recorded so
+/// experiments can report lock wait time (the quantity §3.4 of the paper
+/// optimizes). Ownership transfers directly to the longest waiter; the
+/// waiter resumes through the event queue at the release timestamp.
+class Mutex {
+ public:
+  explicit Mutex(Engine& engine) : engine_(engine) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  auto lock() {
+    struct Awaiter {
+      Mutex& m;
+      Nanos enqueued_at{};
+      bool await_ready() noexcept {
+        if (!m.locked_) {
+          m.locked_ = true;
+          ++m.acquisitions_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        enqueued_at = m.engine_.now();
+        ++m.contended_acquisitions_;
+        m.waiters_.push_back(Waiter{h, enqueued_at});
+      }
+      void await_resume() noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void unlock();
+
+  bool locked() const noexcept { return locked_; }
+  std::uint64_t acquisitions() const noexcept { return acquisitions_; }
+  std::uint64_t contended_acquisitions() const noexcept {
+    return contended_acquisitions_;
+  }
+  Nanos total_wait() const noexcept { return total_wait_; }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    Nanos since;
+  };
+
+  Engine& engine_;
+  bool locked_ = false;
+  std::deque<Waiter> waiters_;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t contended_acquisitions_ = 0;
+  Nanos total_wait_ = 0;
+};
+
+/// RAII-ish helper for coroutines:
+///   co_await mutex.lock(); ... mutex.unlock();
+/// A scope guard cannot span suspension points portably, so lock/unlock are
+/// explicit; ScopedUnlock covers the common straight-line case.
+class ScopedUnlock {
+ public:
+  explicit ScopedUnlock(Mutex& m) : m_(&m) {}
+  ScopedUnlock(const ScopedUnlock&) = delete;
+  ScopedUnlock& operator=(const ScopedUnlock&) = delete;
+  ~ScopedUnlock() {
+    if (m_) m_->unlock();
+  }
+  /// Release early (e.g. before posting RDMA writes — §3.4).
+  void unlock_now() {
+    if (m_) {
+      m_->unlock();
+      m_ = nullptr;
+    }
+  }
+
+ private:
+  Mutex* m_;
+};
+
+/// One-shot waitable event with optional timeout: the doorbell primitive.
+/// wait_for() returns true if signalled, false on timeout. Multiple waiters
+/// are all released by one signal().
+class Signal {
+ public:
+  explicit Signal(Engine& engine) : engine_(engine) {}
+
+  /// Awaitable<bool>: true = signalled, false = timed out.
+  Co<bool> wait_for(Nanos timeout);
+
+  /// Wake all current waiters at the present virtual time.
+  void signal();
+
+  std::uint64_t signals() const noexcept { return signals_; }
+
+ private:
+  struct WaitState {
+    bool fired = false;
+    bool timed_out = false;
+    std::coroutine_handle<> handle;
+  };
+  Engine& engine_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t signals_ = 0;
+  std::deque<std::shared_ptr<WaitState>> waiters_;
+};
+
+}  // namespace spindle::sim

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace spindle::sim {
+
+/// Lazy coroutine returning T, awaited by exactly one parent. This is the
+/// building block for all simulated activities: protocol triggers, sender
+/// threads, RDMA posts. A Co<> starts suspended; awaiting it transfers
+/// control symmetrically into the child, and the child's final suspend
+/// transfers back to the parent. The Co object owns the coroutine frame.
+template <typename T = void>
+class [[nodiscard]] Co;
+
+namespace detail {
+
+template <typename T>
+struct CoPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Co {
+ public:
+  struct promise_type : detail::CoPromiseBase<T> {
+    T value{};
+    Co get_return_object() {
+      return Co(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Co() = default;
+  Co(Co&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Co& operator=(Co&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  ~Co() { destroy(); }
+
+  bool valid() const noexcept { return handle_ != nullptr; }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      T await_resume() {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+        return std::move(h.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  explicit Co(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Co<void> {
+ public:
+  struct promise_type : detail::CoPromiseBase<void> {
+    Co get_return_object() {
+      return Co(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() noexcept {}
+  };
+
+  Co() = default;
+  Co(Co&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Co& operator=(Co&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  ~Co() { destroy(); }
+
+  bool valid() const noexcept { return handle_ != nullptr; }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Engine;
+  explicit Co(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Detached root coroutine for spawned actors. The frame destroys itself
+/// when the actor finishes; exceptions escaping an actor terminate the
+/// simulation (they indicate a bug, never an expected condition).
+struct DetachedTask {
+  struct promise_type {
+    DetachedTask get_return_object() {
+      return {std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    [[noreturn]] void unhandled_exception() noexcept { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+}  // namespace spindle::sim

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+namespace spindle::sim {
+
+/// Virtual time in nanoseconds. All simulated clocks, latencies and CPU
+/// costs are expressed in this unit. 64-bit signed nanoseconds cover
+/// ~292 years of simulated time, far beyond any experiment here.
+using Nanos = std::int64_t;
+
+constexpr Nanos nanos(std::int64_t n) { return n; }
+constexpr Nanos micros(double us) { return static_cast<Nanos>(us * 1e3); }
+constexpr Nanos millis(double ms) { return static_cast<Nanos>(ms * 1e6); }
+constexpr Nanos seconds(double s) { return static_cast<Nanos>(s * 1e9); }
+
+constexpr double to_micros(Nanos n) { return static_cast<double>(n) / 1e3; }
+constexpr double to_seconds(Nanos n) { return static_cast<double>(n) / 1e9; }
+
+}  // namespace spindle::sim

@@ -1,0 +1,121 @@
+#include "smc/ring.hpp"
+
+#include <cstring>
+
+namespace spindle::smc {
+
+RingGroup::RingGroup(net::Fabric& fabric, net::NodeId self,
+                     std::vector<net::NodeId> members,
+                     std::size_t my_sender_index, std::size_t num_senders,
+                     std::uint32_t window, std::uint32_t max_msg_size)
+    : fabric_(fabric),
+      self_(self),
+      members_(std::move(members)),
+      my_sender_(my_sender_index),
+      num_senders_(num_senders),
+      window_(window),
+      max_msg_(max_msg_size) {
+  assert(window_ > 0 && max_msg_ > 0 && num_senders_ > 0);
+  arena_.assign(num_senders_ * row_size(), std::byte{0});
+  my_region_ = fabric_.register_region(self_, std::span<std::byte>(arena_));
+  peer_regions_.resize(members_.size());
+}
+
+void RingGroup::connect(std::span<RingGroup* const> instances) {
+  for (RingGroup* a : instances) {
+    for (std::size_t rank = 0; rank < a->members_.size(); ++rank) {
+      for (RingGroup* b : instances) {
+        if (b->self_ == a->members_[rank]) {
+          a->peer_regions_[rank] = b->my_region_;
+        }
+      }
+    }
+  }
+}
+
+std::span<std::byte> RingGroup::slot_data(std::int64_t msg_index) {
+  assert(is_sender());
+  const auto slot = static_cast<std::uint32_t>(msg_index % window_);
+  return {arena_.data() + data_offset(my_sender_, slot), max_msg_};
+}
+
+void RingGroup::mark_ready(std::int64_t msg_index, std::uint32_t len,
+                           std::uint32_t flags) {
+  assert(is_sender());
+  assert(len <= max_msg_);
+  const auto slot = static_cast<std::uint32_t>(msg_index % window_);
+  SlotTrailer t{len, flags, msg_index + 1};
+  std::memcpy(arena_.data() + trailer_offset(my_sender_, slot), &t, sizeof t);
+}
+
+sim::Nanos RingGroup::push_ranges(std::int64_t first, std::int64_t last,
+                                  std::span<const std::size_t> targets,
+                                  bool trailers) {
+  assert(is_sender());
+  assert(first <= last);
+  assert(last - first <= static_cast<std::int64_t>(window_) &&
+         "batch larger than the ring");
+  if (first == last) return 0;
+
+  // Split [first, last) at ring wraparound into at most two segments of
+  // consecutive slots.
+  struct Segment {
+    std::uint32_t slot;
+    std::uint32_t count;
+  };
+  Segment segs[2];
+  int n_segs = 0;
+  const auto first_slot = static_cast<std::uint32_t>(first % window_);
+  const auto total = static_cast<std::uint32_t>(last - first);
+  if (first_slot + total <= window_) {
+    segs[n_segs++] = {first_slot, total};
+  } else {
+    segs[n_segs++] = {first_slot, window_ - first_slot};
+    segs[n_segs++] = {0, total - (window_ - first_slot)};
+  }
+
+  const std::size_t unit = trailers ? sizeof(SlotTrailer) : stride();
+  sim::Nanos cost = 0;
+  for (int i = 0; i < n_segs; ++i) {
+    const std::size_t off = trailers
+                                ? trailer_offset(my_sender_, segs[i].slot)
+                                : data_offset(my_sender_, segs[i].slot);
+    std::span<const std::byte> src{arena_.data() + off, segs[i].count * unit};
+    for (std::size_t rank : targets) {
+      if (members_[rank] == self_) continue;
+      assert(peer_regions_[rank].valid() && "RingGroup not connected");
+      cost += fabric_.post_write(self_, peer_regions_[rank], off, src);
+    }
+  }
+  return cost;
+}
+
+sim::Nanos RingGroup::push_data(std::int64_t first, std::int64_t last,
+                                std::span<const std::size_t> targets) {
+  return push_ranges(first, last, targets, /*trailers=*/false);
+}
+
+sim::Nanos RingGroup::push_trailers(std::int64_t first, std::int64_t last,
+                                    std::span<const std::size_t> targets) {
+  return push_ranges(first, last, targets, /*trailers=*/true);
+}
+
+SlotTrailer RingGroup::trailer(std::size_t sender,
+                               std::int64_t msg_index) const {
+  assert(sender < num_senders_);
+  const auto slot = static_cast<std::uint32_t>(msg_index % window_);
+  SlotTrailer t;
+  std::memcpy(&t, arena_.data() + trailer_offset(sender, slot), sizeof t);
+  return t;
+}
+
+std::span<const std::byte> RingGroup::message(std::size_t sender,
+                                              std::int64_t msg_index,
+                                              std::uint32_t len) const {
+  assert(sender < num_senders_);
+  assert(len <= max_msg_);
+  const auto slot = static_cast<std::uint32_t>(msg_index % window_);
+  return {arena_.data() + data_offset(sender, slot), len};
+}
+
+}  // namespace spindle::smc

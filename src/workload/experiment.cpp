@@ -1,0 +1,180 @@
+#include "workload/experiment.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace spindle::workload {
+
+std::size_t sender_count(SenderPattern p, std::size_t nodes) {
+  switch (p) {
+    case SenderPattern::all:
+      return nodes;
+    case SenderPattern::half:
+      return nodes < 2 ? 1 : nodes / 2;
+    case SenderPattern::one:
+      return 1;
+  }
+  return 1;
+}
+
+double bench_scale() {
+  if (const char* env = std::getenv("SPINDLE_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+namespace {
+
+/// Application sender thread: streams `count` messages into one subgroup,
+/// optionally pausing after each send (the §4.2.1 delayed-sender pattern).
+sim::Co<> sender_actor(core::Cluster* cluster, net::NodeId id,
+                       core::SubgroupId sg, std::size_t count,
+                       std::uint32_t size, sim::Nanos delay) {
+  core::Node& node = cluster->node(id);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (node.stopped()) co_return;
+    co_await node.send(sg, size, [i](std::span<std::byte> buf) {
+      if (buf.size() >= sizeof(std::uint64_t)) {
+        const std::uint64_t tag = i;
+        std::memcpy(buf.data(), &tag, sizeof tag);
+      }
+    });
+    if (delay > 0) co_await cluster->engine().sleep(delay);
+  }
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  core::ClusterConfig cc;
+  cc.nodes = cfg.nodes;
+  cc.timing = cfg.timing;
+  cc.cpu = cfg.cpu;
+  cc.seed = cfg.seed;
+  core::Cluster cluster(cc);
+
+  std::vector<net::NodeId> all(cfg.nodes);
+  for (std::size_t i = 0; i < cfg.nodes; ++i) {
+    all[i] = static_cast<net::NodeId>(i);
+  }
+  const std::size_t n_senders = sender_count(cfg.senders, cfg.nodes);
+  std::vector<net::NodeId> senders(all.begin(),
+                                   all.begin() + static_cast<long>(n_senders));
+
+  std::vector<core::SubgroupId> sgs;
+  for (std::size_t g = 0; g < cfg.subgroups; ++g) {
+    core::SubgroupConfig sc;
+    sc.name = "sg" + std::to_string(g);
+    sc.members = all;
+    sc.senders = senders;
+    sc.opts = cfg.opts;
+    sgs.push_back(cluster.create_subgroup(sc));
+  }
+  cluster.start();
+
+  // Tracked deliveries: messages from senders that will actually finish.
+  // Delayed-forever senders send nothing; finitely-delayed senders send but
+  // are excluded from the completion target (the paper measures bandwidth
+  // after a fixed number of messages from the continuous senders).
+  std::uint64_t tracked_per_subgroup = 0;
+  for (std::size_t s = 0; s < n_senders; ++s) {
+    const bool delayed = s < cfg.delayed_senders;
+    if (!delayed) tracked_per_subgroup += cfg.messages_per_sender;
+  }
+  const std::uint64_t expected =
+      tracked_per_subgroup * cfg.active_subgroups * cfg.nodes;
+
+  // Spawn sender threads for active subgroups.
+  for (std::size_t g = 0; g < cfg.active_subgroups && g < cfg.subgroups; ++g) {
+    for (std::size_t s = 0; s < n_senders; ++s) {
+      const bool delayed = s < cfg.delayed_senders;
+      if (delayed && cfg.delayed_forever) continue;
+      cluster.engine().spawn(sender_actor(
+          &cluster, senders[s], sgs[g], cfg.messages_per_sender,
+          cfg.message_size, delayed ? cfg.post_send_delay : 0));
+    }
+  }
+
+  // Count only deliveries of messages from tracked (non-delayed) senders.
+  // Delayed senders' messages still flow and count toward bytes/latency,
+  // but completion keys on the continuous senders.
+  std::uint64_t tracked_delivered = 0;
+  ExperimentResult res;
+  for (std::size_t g = 0; g < cfg.active_subgroups && g < cfg.subgroups;
+       ++g) {
+    const core::SubgroupId sg = sgs[g];
+    for (net::NodeId m : all) {
+      cluster.node(m).set_delivery_handler(
+          sg, [&tracked_delivered, &res, &cluster, &cfg,
+               sg](const core::Delivery& d) {
+            if (d.sender >= cfg.delayed_senders) ++tracked_delivered;
+            const sim::Nanos sent =
+                cluster.send_time(sg, d.sender, d.sender_index);
+            if (sent >= 0) {
+              const auto lat = static_cast<std::uint64_t>(
+                  cluster.engine().now() - sent);
+              if (d.sender < cfg.delayed_senders) {
+                res.delayed_sender_latency_ns.add(lat);
+              } else {
+                res.continuous_sender_latency_ns.add(lat);
+              }
+            }
+          });
+    }
+  }
+  res.expected_deliveries = expected;
+  res.completed = cluster.engine().run_until(
+      [&] { return tracked_delivered >= expected; }, cfg.max_virtual);
+  res.makespan = cluster.engine().now();
+
+  res.totals = cluster.totals();
+  const double secs = sim::to_seconds(res.makespan);
+  if (secs > 0) {
+    res.throughput_gbps = static_cast<double>(res.totals.bytes_delivered) /
+                          static_cast<double>(cfg.nodes) / secs / 1e9;
+    res.delivery_rate_per_node =
+        static_cast<double>(res.totals.messages_delivered) /
+        static_cast<double>(cfg.nodes) / secs;
+  }
+  res.median_latency_us =
+      static_cast<double>(res.totals.delivery_latency_ns.median()) / 1e3;
+  res.mean_latency_us = res.totals.delivery_latency_ns.mean() / 1e3;
+  res.p99_latency_us =
+      static_cast<double>(res.totals.delivery_latency_ns.percentile(99)) / 1e3;
+
+  sim::Nanos active_cpu = 0;
+  sim::Nanos total_cpu = res.totals.predicate_cpu;
+  for (std::size_t g = 0; g < cfg.active_subgroups && g < cfg.subgroups;
+       ++g) {
+    for (net::NodeId m : all) {
+      active_cpu += cluster.node(m).predicate_cpu_in(sgs[g]);
+    }
+  }
+  if (total_cpu > 0) {
+    res.active_predicate_fraction =
+        static_cast<double>(active_cpu) / static_cast<double>(total_cpu);
+  }
+
+  cluster.shutdown();
+  return res;
+}
+
+Averaged run_averaged(ExperimentConfig cfg, int runs) {
+  Averaged avg;
+  metrics::RunStats tp;
+  metrics::RunStats lat;
+  for (int r = 0; r < runs; ++r) {
+    cfg.seed = cfg.seed + static_cast<std::uint64_t>(r == 0 ? 0 : 1);
+    avg.last = run_experiment(cfg);
+    tp.add(avg.last.throughput_gbps);
+    lat.add(avg.last.median_latency_us);
+  }
+  avg.mean_gbps = tp.mean();
+  avg.stddev_gbps = tp.stddev();
+  avg.mean_median_latency_us = lat.mean();
+  return avg;
+}
+
+}  // namespace spindle::workload

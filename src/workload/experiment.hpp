@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/group.hpp"
+#include "metrics/metrics.hpp"
+
+namespace spindle::workload {
+
+/// Which members of each subgroup are senders (paper §4.1.1 patterns).
+enum class SenderPattern { all, half, one };
+
+/// Configuration for one protocol experiment, mirroring the scenarios of
+/// the paper's evaluation: N nodes, one or more (overlapping, all-member)
+/// subgroups, continuous or delayed senders, optimization flags.
+struct ExperimentConfig {
+  std::size_t nodes = 16;
+  std::size_t subgroups = 1;         // every node is a member of every one
+  std::size_t active_subgroups = 1;  // only these have senders sending
+  SenderPattern senders = SenderPattern::all;
+  std::size_t messages_per_sender = 1000;
+  std::uint32_t message_size = 10240;
+  core::ProtocolOptions opts = core::ProtocolOptions::spindle();
+
+  /// Delay injection (§4.2.1): the first `delayed_senders` senders busy-wait
+  /// `post_send_delay` after each send; with `delayed_forever` they never
+  /// send at all (the "delayed indefinitely" case).
+  std::size_t delayed_senders = 0;
+  sim::Nanos post_send_delay = 0;
+  bool delayed_forever = false;
+
+  std::uint64_t seed = 1;
+  net::TimingModel timing{};
+  core::CpuModel cpu{};
+  sim::Nanos max_virtual = sim::seconds(600);  // stall watchdog
+};
+
+struct ExperimentResult {
+  bool completed = false;
+  sim::Nanos makespan = 0;
+  /// Paper throughput metric: application data delivered per unit time,
+  /// GB/s averaged over all nodes.
+  double throughput_gbps = 0;
+  double delivery_rate_per_node = 0;  // messages/s per node
+  double median_latency_us = 0;
+  double mean_latency_us = 0;
+  double p99_latency_us = 0;
+  metrics::ProtocolCounters totals;
+  /// Fraction of predicate-thread CPU spent in active subgroups (§4.1.3).
+  double active_predicate_fraction = 0;
+  std::uint64_t expected_deliveries = 0;
+  /// Delivery latency split by sender class (§4.2.1: messages from delayed
+  /// senders vs continuous senders).
+  metrics::Histogram delayed_sender_latency_ns;
+  metrics::Histogram continuous_sender_latency_ns;
+};
+
+/// Build the cluster for `cfg`, run until every tracked message has been
+/// delivered everywhere (or the watchdog trips), and collect metrics.
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// The paper runs each test 5 times and plots mean +- stddev. Seeds are
+/// seed, seed+1, ... Returns throughput statistics plus the last result.
+struct Averaged {
+  double mean_gbps = 0;
+  double stddev_gbps = 0;
+  double mean_median_latency_us = 0;
+  ExperimentResult last;
+};
+Averaged run_averaged(ExperimentConfig cfg, int runs = 3);
+
+/// Number of senders implied by a pattern.
+std::size_t sender_count(SenderPattern p, std::size_t nodes);
+
+/// Benchmark scale factor from SPINDLE_BENCH_SCALE (default 1.0): scales
+/// messages_per_sender so CI and quick runs stay fast.
+double bench_scale();
+
+}  // namespace spindle::workload

@@ -1,0 +1,53 @@
+#include "workload/table.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+
+namespace spindle::workload {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+Table& Table::row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& r : rows_) widths[c] = std::max(widths[c], r[c].size());
+  }
+  std::cout << "\n== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::cout << (c ? "  " : "");
+      std::cout.width(static_cast<std::streamsize>(widths[c]));
+      std::cout << cells[c];
+    }
+    std::cout << '\n';
+  };
+  print_row(columns_);
+  std::size_t total = columns_.size() ? (columns_.size() - 1) * 2 : 0;
+  for (auto w : widths) total += w;
+  std::cout << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) print_row(r);
+  std::cout.flush();
+}
+
+}  // namespace spindle::workload

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spindle::workload {
+
+/// Fixed-width console table for bench output: one table per paper figure,
+/// with a "paper reports" annotation column where applicable.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  Table& row(std::vector<std::string> cells);
+  void print() const;
+
+  static std::string num(double v, int precision = 2);
+  static std::string integer(std::uint64_t v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spindle::workload

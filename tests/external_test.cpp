@@ -1,0 +1,158 @@
+// External DDS clients (§4.6): publish/subscribe from outside the group
+// through a relay member, with the extra relaying step.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dds/external.hpp"
+
+namespace spindle::dds {
+namespace {
+
+std::vector<std::byte> sample_bytes(std::uint64_t tag, std::size_t n = 128) {
+  std::vector<std::byte> s(n);
+  std::memcpy(s.data(), &tag, sizeof tag);
+  return s;
+}
+std::uint64_t tag_of(std::span<const std::byte> d) {
+  std::uint64_t t = 0;
+  std::memcpy(&t, d.data(), sizeof t);
+  return t;
+}
+
+struct ExternalFixture : ::testing::Test {
+  // Nodes 0..2: topic members (0 publishes+relays, 1..2 subscribe);
+  // node 3: the external client's machine.
+  std::unique_ptr<Domain> domain;
+  ExternalClient* client = nullptr;
+
+  void make(ClientLinkModel link = {}) {
+    core::ClusterConfig cc;
+    cc.nodes = 4;
+    domain = std::make_unique<Domain>(cc);
+    TopicConfig tc;
+    tc.name = "ext";
+    tc.topic_id = 1;
+    tc.max_sample_size = 512;
+    tc.publishers = {0};
+    tc.subscribers = {0, 1, 2};
+    domain->create_topic(tc);
+    client = &domain->create_external_client(1, 3, 0, link);
+    domain->start();
+  }
+};
+
+TEST_F(ExternalFixture, ClientPublishesThroughRelayIntoTotalOrder) {
+  make();
+  std::vector<std::uint64_t> at_sub1;
+  domain->reader(1, 1).set_listener(
+      [&](const Sample& s) { at_sub1.push_back(tag_of(s.data)); });
+
+  domain->engine().spawn([](ExternalClient* c) -> sim::Co<> {
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      co_await c->publish_bytes(sample_bytes(900 + i));
+    }
+  }(client));
+
+  ASSERT_TRUE(domain->engine().run_until(
+      [&] { return at_sub1.size() >= 20; }, sim::seconds(5)));
+  // FIFO through the relay.
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(at_sub1[i], 900 + i);
+  }
+  EXPECT_EQ(client->samples_published(), 20u);
+}
+
+TEST_F(ExternalFixture, ClientReceivesEveryTopicSampleViaRelay) {
+  make();
+  std::vector<std::uint64_t> got;
+  client->set_listener(
+      [&](const Sample& s) { got.push_back(tag_of(s.data)); });
+
+  domain->engine().spawn([](Domain* d) -> sim::Co<> {
+    auto w = d->writer(0, 1);
+    for (std::uint64_t i = 0; i < 25; ++i) {
+      co_await w.publish_bytes(sample_bytes(100 + i, 256));
+    }
+  }(domain.get()));
+
+  ASSERT_TRUE(domain->engine().run_until([&] { return got.size() >= 25; },
+                                         sim::seconds(5)));
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(got[i], 100 + i);
+  }
+  EXPECT_EQ(client->samples_received(), 25u);
+}
+
+TEST_F(ExternalFixture, RoundTripEchoPreservesOrderAndContent) {
+  make();
+  // The client hears its own samples back (relayed into the group, then
+  // forwarded down), interleaved in the group's total order.
+  std::vector<std::uint64_t> echoed;
+  client->set_listener(
+      [&](const Sample& s) { echoed.push_back(tag_of(s.data)); });
+  domain->engine().spawn([](ExternalClient* c) -> sim::Co<> {
+    for (std::uint64_t i = 0; i < 15; ++i) {
+      co_await c->publish_bytes(sample_bytes(7000 + i));
+    }
+  }(client));
+  ASSERT_TRUE(domain->engine().run_until(
+      [&] { return echoed.size() >= 15; }, sim::seconds(5)));
+  for (std::uint64_t i = 0; i < 15; ++i) {
+    EXPECT_EQ(echoed[i], 7000 + i);
+  }
+}
+
+TEST_F(ExternalFixture, SlowTcpLinkStillDeliversEverything) {
+  ClientLinkModel slow;
+  slow.per_message_overhead = sim::micros(15);  // WAN-ish TCP
+  slow.window = 8;
+  make(slow);
+  std::vector<std::uint64_t> got;
+  client->set_listener(
+      [&](const Sample& s) { got.push_back(tag_of(s.data)); });
+  domain->engine().spawn([](Domain* d, ExternalClient* c) -> sim::Co<> {
+    for (std::uint64_t i = 0; i < 30; ++i) {
+      co_await c->publish_bytes(sample_bytes(1 + i));
+      if (i % 3 == 0) {
+        co_await d->writer(0, 1).publish_bytes(sample_bytes(500 + i));
+      }
+    }
+  }(domain.get(), client));
+  ASSERT_TRUE(domain->engine().run_until([&] { return got.size() >= 40; },
+                                         sim::seconds(10)));
+  EXPECT_EQ(client->samples_received(), 40u);
+}
+
+TEST(ExternalValidation, RejectsBadConfigurations) {
+  core::ClusterConfig cc;
+  cc.nodes = 4;
+  Domain domain(cc);
+  TopicConfig tc;
+  tc.name = "v";
+  tc.topic_id = 1;
+  tc.publishers = {0};
+  tc.subscribers = {1};
+  domain.create_topic(tc);
+  ClientLinkModel link;
+  // Relay must be a subscriber AND a publisher.
+  EXPECT_THROW(domain.create_external_client(1, 3, 2, link),
+               std::invalid_argument);
+  EXPECT_THROW(domain.create_external_client(1, 3, 1, link),
+               std::invalid_argument);  // subscriber but not publisher
+  // Client node must be outside the topic.
+  TopicConfig ok;
+  ok.name = "ok";
+  ok.topic_id = 2;
+  ok.publishers = {0};
+  ok.subscribers = {0, 1};
+  domain.create_topic(ok);
+  EXPECT_THROW(domain.create_external_client(2, 1, 0, link),
+               std::invalid_argument);
+  domain.create_external_client(2, 3, 0, link);  // valid
+}
+
+}  // namespace
+}  // namespace spindle::dds

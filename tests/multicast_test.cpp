@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "workload/experiment.hpp"
+
+namespace spindle::core {
+namespace {
+
+using workload::ExperimentConfig;
+using workload::SenderPattern;
+
+/// Runs a small cluster and records the delivery sequence at each node.
+struct DeliveryRecorder {
+  struct Record {
+    std::size_t sender;
+    std::int64_t seq;
+    std::int64_t sender_index;
+    std::uint64_t tag;  // first 8 bytes of payload
+  };
+  std::map<net::NodeId, std::vector<Record>> per_node;
+
+  DeliveryHandler handler_for(net::NodeId id) {
+    return [this, id](const Delivery& d) {
+      std::uint64_t tag = 0;
+      if (d.data.size() >= sizeof tag) {
+        std::memcpy(&tag, d.data.data(), sizeof tag);
+      }
+      per_node[id].push_back(Record{d.sender, d.seq, d.sender_index, tag});
+    };
+  }
+};
+
+struct SmallRun {
+  SmallRun(std::size_t n, std::size_t s, std::size_t m, ProtocolOptions o,
+           std::uint64_t sd = 1)
+      : nodes(n), senders(s), messages(m), opts(o), seed(sd) {}
+  std::size_t nodes;
+  std::size_t senders;
+  std::size_t messages;
+  ProtocolOptions opts;
+  std::uint64_t seed;
+
+  DeliveryRecorder rec;
+  bool completed = false;
+
+  void run() {
+    ClusterConfig cc;
+    cc.nodes = nodes;
+    cc.seed = seed;
+    Cluster cluster(cc);
+    std::vector<net::NodeId> members;
+    for (std::size_t i = 0; i < nodes; ++i) {
+      members.push_back(static_cast<net::NodeId>(i));
+    }
+    std::vector<net::NodeId> snd(members.begin(),
+                                 members.begin() + static_cast<long>(senders));
+    const SubgroupId sg =
+        cluster.create_subgroup({"test", members, snd, opts});
+    cluster.start();
+    for (net::NodeId m : members) {
+      cluster.node(m).set_delivery_handler(sg, rec.handler_for(m));
+    }
+    for (std::size_t s = 0; s < senders; ++s) {
+      cluster.engine().spawn(
+          [](Cluster* c, net::NodeId id, SubgroupId g, std::size_t count,
+             std::uint64_t base) -> sim::Co<> {
+            for (std::size_t i = 0; i < count; ++i) {
+              if (c->node(id).stopped()) co_return;
+              const std::uint64_t tag = base + i;
+              co_await c->node(id).send(
+                  g, 128, [tag](std::span<std::byte> buf) {
+                    std::memcpy(buf.data(), &tag, sizeof tag);
+                  });
+            }
+          }(&cluster, snd[s], sg, messages, 1000 * (s + 1)));
+    }
+    const std::uint64_t expect = senders * messages * nodes;
+    completed = cluster.engine().run_until(
+        [&] { return cluster.total_delivered(sg) >= expect; },
+        sim::seconds(30));
+    cluster.shutdown();
+  }
+};
+
+TEST(Multicast, SingleSenderDeliversEverywhereInOrder) {
+  SmallRun r{3, 1, 50, ProtocolOptions::spindle()};
+  r.run();
+  ASSERT_TRUE(r.completed);
+  for (auto& [node, recs] : r.rec.per_node) {
+    ASSERT_EQ(recs.size(), 50u) << "node " << node;
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      EXPECT_EQ(recs[i].tag, 1000 + i);
+      EXPECT_EQ(recs[i].sender, 0u);
+    }
+  }
+}
+
+/// Total order: every member delivers exactly the same sequence.
+void expect_identical_sequences(DeliveryRecorder& rec) {
+  ASSERT_FALSE(rec.per_node.empty());
+  const auto& reference = rec.per_node.begin()->second;
+  for (auto& [node, recs] : rec.per_node) {
+    ASSERT_EQ(recs.size(), reference.size()) << "node " << node;
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      EXPECT_EQ(recs[i].sender, reference[i].sender) << "pos " << i;
+      EXPECT_EQ(recs[i].tag, reference[i].tag) << "pos " << i;
+      EXPECT_EQ(recs[i].seq, reference[i].seq) << "pos " << i;
+    }
+  }
+}
+
+/// FIFO per sender and round-robin global order (§2.1 / §3.3 ordering).
+void expect_round_robin(DeliveryRecorder& rec, std::size_t n_senders) {
+  for (auto& [node, recs] : rec.per_node) {
+    std::vector<std::int64_t> next_index(n_senders, 0);
+    std::int64_t last_seq = -1;
+    for (const auto& r : recs) {
+      EXPECT_GT(r.seq, last_seq) << "node " << node;
+      last_seq = r.seq;
+      // seq encodes (round, sender): check consistency.
+      EXPECT_EQ(static_cast<std::size_t>(r.seq %
+                                         static_cast<std::int64_t>(n_senders)),
+                r.sender);
+      EXPECT_EQ(r.seq / static_cast<std::int64_t>(n_senders), r.sender_index);
+      EXPECT_EQ(r.sender_index, next_index[r.sender]) << "FIFO violation";
+      ++next_index[r.sender];
+    }
+  }
+}
+
+TEST(Multicast, TotalOrderAllSendersBaseline) {
+  SmallRun r{4, 4, 40, ProtocolOptions::baseline()};
+  r.run();
+  ASSERT_TRUE(r.completed);
+  expect_identical_sequences(r.rec);
+  expect_round_robin(r.rec, 4);
+}
+
+TEST(Multicast, TotalOrderAllSendersSpindle) {
+  SmallRun r{4, 4, 40, ProtocolOptions::spindle()};
+  r.run();
+  ASSERT_TRUE(r.completed);
+  expect_identical_sequences(r.rec);
+  expect_round_robin(r.rec, 4);
+}
+
+TEST(Multicast, BaselineAndSpindleDeliverSameSequence) {
+  SmallRun a{3, 3, 30, ProtocolOptions::baseline(), 7};
+  SmallRun b{3, 3, 30, ProtocolOptions::spindle(), 7};
+  a.run();
+  b.run();
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  // Without nulls both deliver the identical round-robin sequence of tags.
+  // (With nulls the application sequence is still identical because nulls
+  // are filtered; sender indices may shift.)
+  const auto& sa = a.rec.per_node[0];
+  const auto& sb = b.rec.per_node[0];
+  ASSERT_EQ(sa.size(), sb.size());
+  std::multiset<std::uint64_t> ta, tb;
+  for (auto& x : sa) ta.insert(x.tag);
+  for (auto& x : sb) tb.insert(x.tag);
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(Multicast, ExperimentHarnessCompletesSmallRun) {
+  ExperimentConfig cfg;
+  cfg.nodes = 4;
+  cfg.senders = SenderPattern::all;
+  cfg.messages_per_sender = 100;
+  cfg.message_size = 1024;
+  cfg.opts = ProtocolOptions::spindle();
+  auto res = workload::run_experiment(cfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.totals.messages_delivered, 4u * 4u * 100u);
+  EXPECT_GT(res.throughput_gbps, 0.0);
+  EXPECT_GT(res.totals.rdma_writes_posted, 0u);
+  EXPECT_GT(res.median_latency_us, 0.0);
+}
+
+TEST(Multicast, DeterministicForSameSeed) {
+  ExperimentConfig cfg;
+  cfg.nodes = 3;
+  cfg.messages_per_sender = 50;
+  cfg.message_size = 512;
+  cfg.seed = 42;
+  auto a = workload::run_experiment(cfg);
+  auto b = workload::run_experiment(cfg);
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.totals.rdma_writes_posted, b.totals.rdma_writes_posted);
+  EXPECT_EQ(a.totals.nulls_sent, b.totals.nulls_sent);
+}
+
+TEST(Multicast, SilentSenderDoesNotStallDelivery) {
+  // Correctness property 3 of §3.3: one declared sender never sends; with
+  // null-sends the others' messages are still delivered.
+  ExperimentConfig cfg;
+  cfg.nodes = 4;
+  cfg.senders = SenderPattern::all;
+  cfg.messages_per_sender = 100;
+  cfg.message_size = 1024;
+  cfg.delayed_senders = 1;
+  cfg.delayed_forever = true;
+  cfg.opts = ProtocolOptions::spindle();
+  auto res = workload::run_experiment(cfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_GT(res.totals.nulls_sent, 0u);
+}
+
+TEST(Multicast, QuiescenceNoNullsWhenNobodySends) {
+  // Quiescence property 4 of §3.3: with no application traffic, no nulls.
+  ClusterConfig cc;
+  cc.nodes = 3;
+  Cluster cluster(cc);
+  const SubgroupId sg = cluster.create_subgroup(
+      {"quiet", {0, 1, 2}, {0, 1, 2}, ProtocolOptions::spindle()});
+  cluster.start();
+  cluster.engine().run_to(sim::millis(5));
+  auto totals = cluster.totals();
+  EXPECT_EQ(totals.nulls_sent, 0u);
+  EXPECT_EQ(totals.messages_delivered, 0u);
+  (void)sg;
+  cluster.shutdown();
+}
+
+}  // namespace
+}  // namespace spindle::core

@@ -1,0 +1,317 @@
+// Property-based sweeps of the atomic multicast invariants across the
+// optimization matrix, subgroup sizes, window sizes, message sizes and
+// seeds. Every combination must satisfy, at every node:
+//
+//   P1 total order      — identical delivery sequence at every member;
+//   P2 round-robin      — seq encodes (round, sender rank) per §3.3;
+//   P3 per-sender FIFO  — sender indices deliver 0,1,2,... per sender;
+//   P4 integrity        — payload bytes are exactly what the sender wrote
+//                         (catches premature ring-slot reuse);
+//   P5 stability        — when a node delivers message (j,k), every member
+//                         has already received it (checked omnisciently
+//                         against the actual receiver state);
+//   P6 completion       — all messages deliver everywhere (liveness);
+//   P7 null filtering   — the application never sees a null.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "core/group.hpp"
+
+namespace spindle::core {
+namespace {
+
+enum class OptsKind {
+  baseline,
+  delivery_only,
+  receive_delivery,
+  full_batching,
+  batching_nulls,
+  spindle_full,
+};
+
+const char* kind_name(OptsKind k) {
+  switch (k) {
+    case OptsKind::baseline:
+      return "baseline";
+    case OptsKind::delivery_only:
+      return "delivery_only";
+    case OptsKind::receive_delivery:
+      return "receive_delivery";
+    case OptsKind::full_batching:
+      return "full_batching";
+    case OptsKind::batching_nulls:
+      return "batching_nulls";
+    case OptsKind::spindle_full:
+      return "spindle_full";
+  }
+  return "?";
+}
+
+ProtocolOptions make_opts(OptsKind k) {
+  ProtocolOptions o = ProtocolOptions::baseline();
+  switch (k) {
+    case OptsKind::baseline:
+      break;
+    case OptsKind::delivery_only:
+      o.delivery_batching = true;
+      break;
+    case OptsKind::receive_delivery:
+      o.delivery_batching = o.receive_batching = true;
+      break;
+    case OptsKind::full_batching:
+      o.delivery_batching = o.receive_batching = o.send_batching = true;
+      break;
+    case OptsKind::batching_nulls:
+      o.delivery_batching = o.receive_batching = o.send_batching = true;
+      o.null_sends = true;
+      break;
+    case OptsKind::spindle_full:
+      o = ProtocolOptions::spindle();
+      break;
+  }
+  return o;
+}
+
+struct Param {
+  std::size_t nodes;
+  std::size_t senders;
+  std::uint32_t window;
+  std::uint32_t msg_size;
+  OptsKind kind;
+  std::uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const Param& p) {
+  return os << "n" << p.nodes << "_s" << p.senders << "_w" << p.window
+            << "_m" << p.msg_size << "_" << kind_name(p.kind) << "_seed"
+            << p.seed;
+}
+
+std::byte pattern_byte(std::uint64_t tag, std::size_t i) {
+  return static_cast<std::byte>((tag * 131 + i * 17) & 0xff);
+}
+
+class MulticastProperties : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MulticastProperties, AllInvariantsHold) {
+  const Param p = GetParam();
+  const std::size_t kMessages = 50;
+
+  ClusterConfig cc;
+  cc.nodes = p.nodes;
+  cc.seed = p.seed;
+  Cluster cluster(cc);
+
+  std::vector<net::NodeId> members;
+  for (std::size_t i = 0; i < p.nodes; ++i) {
+    members.push_back(static_cast<net::NodeId>(i));
+  }
+  std::vector<net::NodeId> senders(
+      members.begin(), members.begin() + static_cast<long>(p.senders));
+  SubgroupConfig sc;
+  sc.name = "prop";
+  sc.members = members;
+  sc.senders = senders;
+  sc.opts = make_opts(p.kind);
+  sc.opts.window_size = p.window;
+  sc.opts.max_msg_size = p.msg_size;
+  const SubgroupId sg = cluster.create_subgroup(sc);
+  cluster.start();
+
+  struct Rec {
+    std::size_t sender;
+    std::int64_t seq;
+    std::int64_t sender_index;
+    std::uint64_t tag;
+  };
+  std::map<net::NodeId, std::vector<Rec>> recs;
+  int integrity_failures = 0;
+  int stability_failures = 0;
+  int null_leaks = 0;
+
+  for (net::NodeId m : members) {
+    cluster.node(m).set_delivery_handler(sg, [&, m](const Delivery& d) {
+      if (d.data.size() != p.msg_size) {
+        // A zero-length delivery would be a leaked null (P7).
+        ++null_leaks;
+        return;
+      }
+      std::uint64_t tag = 0;
+      std::memcpy(&tag, d.data.data(), sizeof tag);
+      // P4: verify the payload pattern.
+      for (std::size_t i = sizeof tag; i < d.data.size(); ++i) {
+        if (d.data[i] != pattern_byte(tag, i)) {
+          ++integrity_failures;
+          break;
+        }
+      }
+      // P5: omniscient stability check — every member has received it.
+      for (net::NodeId other : members) {
+        const SubgroupState* st = cluster.node(other).find(sg);
+        if (st->n_received[d.sender] <= d.sender_index) {
+          ++stability_failures;
+        }
+      }
+      recs[m].push_back(Rec{d.sender, d.seq, d.sender_index, tag});
+    });
+  }
+
+  for (std::size_t s = 0; s < p.senders; ++s) {
+    cluster.engine().spawn([](Cluster* c, net::NodeId id, SubgroupId g,
+                              std::uint32_t size,
+                              std::size_t count) -> sim::Co<> {
+      for (std::size_t i = 0; i < count; ++i) {
+        if (c->node(id).stopped()) co_return;
+        const std::uint64_t tag = (id + 1) * 1000000ull + i;
+        co_await c->node(id).send(g, size, [tag](std::span<std::byte> buf) {
+          std::memcpy(buf.data(), &tag, sizeof tag);
+          for (std::size_t b = sizeof tag; b < buf.size(); ++b) {
+            buf[b] = pattern_byte(tag, b);
+          }
+        });
+      }
+    }(&cluster, senders[s], sg, p.msg_size, kMessages));
+  }
+
+  // P6: completion.
+  const std::uint64_t expected = p.senders * kMessages * p.nodes;
+  const bool completed = cluster.engine().run_until(
+      [&] { return cluster.total_delivered(sg) >= expected; },
+      sim::seconds(60));
+  ASSERT_TRUE(completed) << "liveness violated";
+
+  EXPECT_EQ(integrity_failures, 0) << "payload corruption (P4/P7)";
+  EXPECT_EQ(stability_failures, 0) << "delivered before stable (P5)";
+  EXPECT_EQ(null_leaks, 0) << "null upcalled to the application (P7)";
+
+  // P1: identical sequences.
+  const auto& ref = recs[0];
+  ASSERT_EQ(ref.size(), p.senders * kMessages);
+  for (net::NodeId m : members) {
+    ASSERT_EQ(recs[m].size(), ref.size()) << "node " << m;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(recs[m][i].tag, ref[i].tag)
+          << "total order violated at node " << m << " pos " << i;
+    }
+  }
+
+  // P2 + P3: round-robin sequencing and per-sender FIFO. Note that when
+  // null-sends are active a sender's application messages may *skip*
+  // sender indices (nulls occupy them), so FIFO is "strictly increasing
+  // indices, dense application order" rather than index == count.
+  for (net::NodeId m : members) {
+    std::vector<std::int64_t> last_index(p.senders, -1);
+    std::vector<std::uint64_t> app_count(p.senders, 0);
+    std::int64_t last_seq = -1;
+    for (const Rec& r : recs[m]) {
+      EXPECT_GT(r.seq, last_seq);
+      last_seq = r.seq;
+      EXPECT_EQ(r.seq % static_cast<std::int64_t>(p.senders),
+                static_cast<std::int64_t>(r.sender));
+      EXPECT_GT(r.sender_index, last_index[r.sender]) << "FIFO violated";
+      last_index[r.sender] = r.sender_index;
+      EXPECT_EQ(r.tag, (r.sender + 1) * 1000000ull + app_count[r.sender])
+          << "application messages out of order or lost";
+      ++app_count[r.sender];
+    }
+  }
+
+  cluster.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MulticastProperties,
+    ::testing::Values(
+        // Optimization matrix at a fixed mid-size group.
+        Param{4, 4, 16, 256, OptsKind::baseline, 1},
+        Param{4, 4, 16, 256, OptsKind::delivery_only, 1},
+        Param{4, 4, 16, 256, OptsKind::receive_delivery, 1},
+        Param{4, 4, 16, 256, OptsKind::full_batching, 1},
+        Param{4, 4, 16, 256, OptsKind::batching_nulls, 1},
+        Param{4, 4, 16, 256, OptsKind::spindle_full, 1},
+        // Group size sweep.
+        Param{2, 2, 16, 256, OptsKind::spindle_full, 2},
+        Param{3, 3, 16, 256, OptsKind::spindle_full, 2},
+        Param{5, 5, 16, 256, OptsKind::spindle_full, 2},
+        Param{8, 8, 16, 256, OptsKind::spindle_full, 2},
+        Param{8, 8, 16, 256, OptsKind::baseline, 2},
+        // Partial sender sets (round-robin across a strict subset).
+        Param{5, 2, 16, 256, OptsKind::spindle_full, 3},
+        Param{5, 1, 16, 256, OptsKind::spindle_full, 3},
+        Param{6, 3, 16, 256, OptsKind::batching_nulls, 3},
+        Param{5, 2, 16, 256, OptsKind::baseline, 3},
+        // Window stress: tiny windows force constant slot reuse.
+        Param{4, 4, 1, 256, OptsKind::spindle_full, 4},
+        Param{4, 4, 2, 256, OptsKind::spindle_full, 4},
+        Param{4, 4, 3, 256, OptsKind::baseline, 4},
+        Param{3, 3, 5, 256, OptsKind::batching_nulls, 4},
+        Param{4, 4, 128, 256, OptsKind::spindle_full, 4},
+        // Message size extremes (1 byte to 10KB slots).
+        Param{3, 3, 16, 16, OptsKind::spindle_full, 5},
+        Param{3, 3, 16, 1024, OptsKind::spindle_full, 5},
+        Param{3, 3, 8, 10240, OptsKind::spindle_full, 5},
+        Param{3, 3, 8, 10240, OptsKind::baseline, 5},
+        // Seed variation on the full stack.
+        Param{4, 4, 16, 512, OptsKind::spindle_full, 11},
+        Param{4, 4, 16, 512, OptsKind::spindle_full, 12},
+        Param{4, 4, 16, 512, OptsKind::spindle_full, 13},
+        Param{6, 6, 32, 1024, OptsKind::spindle_full, 14},
+        Param{6, 6, 32, 1024, OptsKind::full_batching, 15}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::ostringstream os;
+      os << info.param;
+      return os.str();
+    });
+
+/// Unordered mode keeps per-sender FIFO and completeness but assigns no
+/// global sequence.
+TEST(UnorderedProperties, PerSenderFifoAndCompleteness) {
+  ClusterConfig cc;
+  cc.nodes = 4;
+  Cluster cluster(cc);
+  SubgroupConfig sc;
+  sc.name = "unord";
+  sc.members = {0, 1, 2, 3};
+  sc.senders = {0, 1, 2, 3};
+  sc.opts = ProtocolOptions::spindle();
+  sc.opts.mode = DeliveryMode::unordered;
+  sc.opts.max_msg_size = 64;
+  const SubgroupId sg = cluster.create_subgroup(sc);
+  cluster.start();
+
+  std::map<net::NodeId, std::vector<std::pair<std::size_t, std::int64_t>>>
+      recs;
+  for (net::NodeId m : {0, 1, 2, 3}) {
+    cluster.node(m).set_delivery_handler(sg, [&recs, m](const Delivery& d) {
+      EXPECT_EQ(d.seq, -1);
+      recs[m].emplace_back(d.sender, d.sender_index);
+    });
+  }
+  for (net::NodeId s = 0; s < 4; ++s) {
+    cluster.engine().spawn(
+        [](Cluster* c, net::NodeId id, SubgroupId g) -> sim::Co<> {
+          for (int i = 0; i < 40; ++i) {
+            if (c->node(id).stopped()) co_return;
+            co_await c->node(id).send(g, 64, [](std::span<std::byte>) {});
+          }
+        }(&cluster, s, sg));
+  }
+  ASSERT_TRUE(cluster.engine().run_until(
+      [&] { return cluster.total_delivered(sg) >= 4 * 40 * 4; },
+      sim::seconds(10)));
+  for (auto& [m, v] : recs) {
+    std::vector<std::int64_t> last(4, -1);
+    for (auto& [sender, idx] : v) {
+      EXPECT_GT(idx, last[sender]) << "per-sender FIFO violated at " << m;
+      last[sender] = idx;
+    }
+  }
+  cluster.shutdown();
+}
+
+}  // namespace
+}  // namespace spindle::core

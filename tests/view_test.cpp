@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/view.hpp"
+
+namespace spindle::core {
+namespace {
+
+std::vector<std::byte> payload_of(std::uint64_t tag) {
+  std::vector<std::byte> p(64);
+  std::memcpy(p.data(), &tag, sizeof tag);
+  return p;
+}
+
+std::uint64_t tag_of(std::span<const std::byte> data) {
+  std::uint64_t t = 0;
+  std::memcpy(&t, data.data(), sizeof t);
+  return t;
+}
+
+/// A managed group over N nodes with one all-member subgroup, recording
+/// per-node delivery sequences across views.
+struct ManagedFixture {
+  explicit ManagedFixture(std::size_t n, std::uint64_t seed = 1) {
+    ManagedGroup::Config cfg;
+    cfg.nodes = n;
+    cfg.seed = seed;
+    group = std::make_unique<ManagedGroup>(cfg, [](const View& v) {
+      SubgroupConfig sc;
+      sc.name = "main";
+      sc.members = v.members;
+      sc.senders = v.members;
+      sc.opts = ProtocolOptions::spindle();
+      sc.opts.max_msg_size = 64;
+      sc.opts.window_size = 16;
+      return std::vector<SubgroupConfig>{sc};
+    });
+    group->start();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = static_cast<net::NodeId>(i);
+      group->set_delivery_handler(id, 0, [this, id](const Delivery& d) {
+        delivered[id].push_back(tag_of(d.data));
+      });
+    }
+  }
+
+  std::unique_ptr<ManagedGroup> group;
+  std::map<net::NodeId, std::vector<std::uint64_t>> delivered;
+
+  bool run_until_all_delivered(const std::vector<net::NodeId>& nodes,
+                               std::size_t count, sim::Nanos deadline) {
+    return group->engine().run_until(
+        [&] {
+          for (net::NodeId n : nodes) {
+            if (delivered[n].size() < count) return false;
+          }
+          return true;
+        },
+        deadline);
+  }
+};
+
+TEST(ManagedGroup, StableViewDeliversNormally) {
+  ManagedFixture f(4);
+  for (net::NodeId n = 0; n < 4; ++n) {
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      f.group->send(n, 0, payload_of(n * 100 + i));
+    }
+  }
+  ASSERT_TRUE(f.run_until_all_delivered({0, 1, 2, 3}, 80, sim::millis(50)));
+  EXPECT_EQ(f.group->epoch(), 0u);
+  // Identical total order at every node.
+  for (net::NodeId n = 1; n < 4; ++n) {
+    EXPECT_EQ(f.delivered[n], f.delivered[0]);
+  }
+}
+
+TEST(ManagedGroup, CrashTriggersViewChangeAndSurvivorsAgree) {
+  ManagedFixture f(4);
+  // Traffic from everyone, then node 3 crashes mid-stream.
+  for (net::NodeId n = 0; n < 4; ++n) {
+    for (std::uint64_t i = 0; i < 30; ++i) {
+      f.group->send(n, 0, payload_of(n * 1000 + i));
+    }
+  }
+  f.group->engine().run_to(sim::micros(150));
+  f.group->crash(3);
+
+  // Survivors finish: all messages from 0,1,2 (30 each) are delivered.
+  const bool done = f.group->engine().run_until(
+      [&] {
+        if (f.group->view_change_in_progress()) return false;
+        if (f.group->epoch() < 1) return false;
+        for (net::NodeId n : {0, 1, 2}) {
+          std::size_t mine = 0;
+          for (auto t : f.delivered[n]) {
+            if (t < 3000) ++mine;
+          }
+          if (mine < 90) return false;
+        }
+        return true;
+      },
+      sim::millis(100));
+  ASSERT_TRUE(done);
+  EXPECT_GE(f.group->epoch(), 1u);
+  EXPECT_EQ(f.group->view().members.size(), 3u);
+
+  // Virtual synchrony: all survivors delivered the identical sequence.
+  EXPECT_EQ(f.delivered[1], f.delivered[0]);
+  EXPECT_EQ(f.delivered[2], f.delivered[0]);
+
+  // No duplicates, no losses from surviving senders.
+  std::multiset<std::uint64_t> seen(f.delivered[0].begin(),
+                                    f.delivered[0].end());
+  for (net::NodeId n : {0, 1, 2}) {
+    for (std::uint64_t i = 0; i < 30; ++i) {
+      EXPECT_EQ(seen.count(n * 1000 + i), 1u)
+          << "message " << n * 1000 + i << " lost or duplicated";
+    }
+  }
+}
+
+TEST(ManagedGroup, MessagesFromCrashedSenderAreAllOrNothingPrefix) {
+  ManagedFixture f(3);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    f.group->send(2, 0, payload_of(2000 + i));
+  }
+  f.group->engine().run_to(sim::micros(100));
+  f.group->crash(2);
+  f.group->engine().run_until(
+      [&] { return f.group->epoch() >= 1 && !f.group->view_change_in_progress(); },
+      sim::millis(100));
+  // Let the survivors settle.
+  f.group->engine().run_to(f.group->engine().now() + sim::millis(1));
+
+  ASSERT_GE(f.group->epoch(), 1u);
+  EXPECT_EQ(f.delivered[0], f.delivered[1]);
+  // The crashed sender's messages form a FIFO prefix: if 2000+i was
+  // delivered, so was every 2000+j for j < i.
+  std::vector<std::uint64_t> from2;
+  for (auto t : f.delivered[0]) {
+    if (t >= 2000) from2.push_back(t);
+  }
+  for (std::size_t i = 0; i < from2.size(); ++i) {
+    EXPECT_EQ(from2[i], 2000 + i);
+  }
+}
+
+TEST(ManagedGroup, SequentialFailuresShrinkView) {
+  ManagedFixture f(5);
+  f.group->engine().run_to(sim::micros(50));
+  f.group->crash(4);
+  ASSERT_TRUE(f.group->engine().run_until(
+      [&] { return f.group->epoch() == 1 && !f.group->view_change_in_progress(); },
+      sim::millis(100)));
+  EXPECT_EQ(f.group->view().members.size(), 4u);
+
+  f.group->crash(3);
+  ASSERT_TRUE(f.group->engine().run_until(
+      [&] { return f.group->epoch() == 2 && !f.group->view_change_in_progress(); },
+      sim::millis(100)));
+  EXPECT_EQ(f.group->view().members.size(), 3u);
+
+  // The shrunken view still delivers new traffic.
+  for (net::NodeId n = 0; n < 3; ++n) {
+    f.group->send(n, 0, payload_of(n * 10));
+  }
+  ASSERT_TRUE(f.run_until_all_delivered({0, 1, 2}, 3, sim::millis(100)));
+}
+
+TEST(ManagedGroup, LeaderCrashElectsNextLeader) {
+  // Node 0 is the initial leader; crashing it forces node 1 to lead the
+  // view change.
+  ManagedFixture f(4);
+  for (net::NodeId n = 1; n < 4; ++n) {
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      f.group->send(n, 0, payload_of(n * 100 + i));
+    }
+  }
+  f.group->engine().run_to(sim::micros(80));
+  f.group->crash(0);
+  const bool done = f.group->engine().run_until(
+      [&] {
+        return f.group->epoch() >= 1 && !f.group->view_change_in_progress();
+      },
+      sim::millis(100));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(f.group->view().members.front(), 1u);
+  EXPECT_EQ(f.delivered[1], f.delivered[2]);
+  EXPECT_EQ(f.delivered[2], f.delivered[3]);
+}
+
+TEST(ManagedGroup, GracefulLeaveLosesNoMessages) {
+  ManagedFixture f(4);
+  for (net::NodeId n = 0; n < 4; ++n) {
+    for (std::uint64_t i = 0; i < 15; ++i) {
+      f.group->send(n, 0, payload_of(n * 100 + i));
+    }
+  }
+  // All messages are queued before the leave announcement; survivors must
+  // deliver all of them (leaver's included: it wedges cleanly).
+  f.group->engine().run_to(sim::micros(50));
+  f.group->leave(3);
+  const bool done = f.group->engine().run_until(
+      [&] {
+        if (f.group->epoch() < 1 || f.group->view_change_in_progress()) {
+          return false;
+        }
+        // 0,1,2's messages all delivered at survivors.
+        for (net::NodeId n : {0, 1, 2}) {
+          std::size_t cnt = 0;
+          for (auto t : f.delivered[n]) {
+            if (t < 300) ++cnt;
+          }
+          if (cnt < 45) return false;
+        }
+        return true;
+      },
+      sim::millis(200));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(f.group->view().members.size(), 3u);
+  EXPECT_EQ(f.delivered[0], f.delivered[1]);
+  EXPECT_EQ(f.delivered[1], f.delivered[2]);
+}
+
+TEST(ManagedGroup, NoSpuriousViewChangeWithoutFailures) {
+  ManagedFixture f(4);
+  for (net::NodeId n = 0; n < 4; ++n) {
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      f.group->send(n, 0, payload_of(n * 100 + i));
+    }
+  }
+  ASSERT_TRUE(f.run_until_all_delivered({0, 1, 2, 3}, 200, sim::millis(200)));
+  EXPECT_EQ(f.group->epoch(), 0u);
+  EXPECT_FALSE(f.group->view_change_in_progress());
+}
+
+}  // namespace
+}  // namespace spindle::core
