@@ -253,6 +253,7 @@ sim::Co<> Node::persist_logger(SubgroupState& s) {
     // Opportunistic batching on the persistence path too: flush everything
     // queued with one op latency, then publish persisted_num once.
     sim::Nanos cost = cpu.ssd_op_latency;
+    if (eng.now() < ssd_fault_until_) cost += ssd_extra_latency_;
     std::int64_t last_seq = s.persisted_local;
     while (!s.persist_queue.empty()) {
       auto entry = std::move(s.persist_queue.front());
@@ -288,6 +289,7 @@ void Node::force_deliver_through(SubgroupId sg, std::int64_t trim) {
     if (!(t.flags & smc::kNullFlag) &&
         s.cfg.opts.mode == DeliveryMode::atomic) {
       const Delivery d{s.id, j, seq, k, s.ring->message(j, k, t.len)};
+      if (s.cfg.opts.persistent) enqueue_persist(s, seq, d.data);
       if (s.handler) s.handler(d);
       ++counters_.messages_delivered;
       counters_.bytes_delivered += t.len;
@@ -337,6 +339,11 @@ sim::Co<> Node::predicate_loop() {
   int idle_streak = 0;
   PostPlan plan;
   while (!stopped_) {
+    if (cpu_stall_until_ > eng.now()) {
+      // Slow host (fault injection): the polling thread is descheduled.
+      co_await eng.sleep(cpu_stall_until_ - eng.now());
+      continue;
+    }
     bool progress = false;
     sim::Nanos carry = 0;  // eval cost of quiet subgroups, slept once/iter
 

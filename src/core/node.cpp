@@ -95,6 +95,23 @@ void Node::wedge_all() {
   for (auto& s : subgroups_) s->wedged = true;
 }
 
+void Node::flush_persist_queue() {
+  for (auto& sp : subgroups_) {
+    SubgroupState& s = *sp;
+    if (!s.cfg.opts.persistent) continue;
+    while (!s.persist_queue.empty()) {
+      auto entry = std::move(s.persist_queue.front());
+      s.persist_queue.pop_front();
+      if (entry.seq > s.persisted_local) s.persisted_local = entry.seq;
+      s.log.push_back(std::move(entry.bytes));
+    }
+    // Trailing nulls are not logged but are covered by the frontier.
+    if (s.delivered_num > s.persisted_local) {
+      s.persisted_local = s.delivered_num;
+    }
+  }
+}
+
 void Node::stop() {
   stopped_ = true;
   cluster_.fabric().doorbell(id_).signal();

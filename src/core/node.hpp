@@ -163,6 +163,26 @@ class Node {
       SubgroupId sg) const;
   std::int64_t persisted_frontier(SubgroupId sg) const;
 
+  /// Fault injection: deschedule the polling thread until virtual time `t`
+  /// (a slow host — IRQ storm, VM pause, cgroup throttle). The predicate
+  /// thread stops evaluating, so acknowledgments and deliveries lag and
+  /// peers may falsely suspect this (live) node.
+  void set_cpu_stall_until(sim::Nanos t) {
+    if (t > cpu_stall_until_) cpu_stall_until_ = t;
+  }
+  /// Fault injection: every SSD flush op before virtual time `until` pays
+  /// `extra` on top of the normal op latency (GC pause, write-cliff; a very
+  /// large `extra` models a hung disk for the window).
+  void set_ssd_fault(sim::Nanos until, sim::Nanos extra) {
+    ssd_fault_until_ = until;
+    ssd_extra_latency_ = extra;
+  }
+  /// View-change support: synchronously move every queued persist entry to
+  /// the durable log and advance the local frontier. Survivors run this
+  /// inside the install barrier so a reconfiguration never loses locally
+  /// delivered-but-unflushed appends (crashed nodes do lose theirs).
+  void flush_persist_queue();
+
   metrics::ProtocolCounters& counters() noexcept { return counters_; }
   const metrics::ProtocolCounters& counters() const noexcept {
     return counters_;
@@ -248,6 +268,9 @@ class Node {
   bool started_ = false;
   sim::Nanos next_hiccup_ = 0;      // polling thread
   sim::Nanos next_app_hiccup_ = 0;  // application sender thread
+  sim::Nanos cpu_stall_until_ = 0;  // fault injection: slow host window
+  sim::Nanos ssd_fault_until_ = 0;  // fault injection: SSD degradation
+  sim::Nanos ssd_extra_latency_ = 0;
 
   /// Draw the next hiccup time and return the stall to charge now (0 if no
   /// hiccup is due).

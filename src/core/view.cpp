@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
 
 namespace spindle::core {
@@ -30,10 +31,15 @@ ManagedGroup::ManagedGroup(Config cfg, SubgroupLayout layout)
   }
   queues_.resize(cfg.nodes);
   handlers_.resize(cfg.nodes);
+  plog_.resize(cfg.nodes);
   for (std::size_t i = 0; i < cfg.nodes; ++i) {
     queues_[i].resize(num_subgroups_);
     handlers_[i].resize(num_subgroups_);
+    plog_[i].resize(num_subgroups_);
   }
+  cpu_stall_until_.assign(cfg.nodes, 0);
+  ssd_fault_until_.assign(cfg.nodes, 0);
+  ssd_extra_latency_.assign(cfg.nodes, 0);
 }
 
 ManagedGroup::~ManagedGroup() { shutdown(); }
@@ -79,6 +85,8 @@ void ManagedGroup::start() {
     engine_.spawn(membership_actor(id));
   }
   engine_.spawn(coordinator_actor());
+
+  engine_.set_diagnostics_provider([this] { return diagnostics_dump(); });
 }
 
 void ManagedGroup::build_epoch_cluster() {
@@ -118,6 +126,17 @@ void ManagedGroup::build_epoch_cluster() {
             }
             if (handlers_[member][g]) handlers_[member][g](d);
           });
+    }
+  }
+
+  // Fault windows outlive view changes: reapply them to the fresh nodes.
+  for (net::NodeId id : view_.members) {
+    Node& node = epoch_cluster_->node(id);
+    if (cpu_stall_until_[id] > engine_.now()) {
+      node.set_cpu_stall_until(cpu_stall_until_[id]);
+    }
+    if (ssd_fault_until_[id] > engine_.now()) {
+      node.set_ssd_fault(ssd_fault_until_[id], ssd_extra_latency_[id]);
     }
   }
   changing_ = false;
@@ -188,6 +207,13 @@ sim::Co<> ManagedGroup::membership_actor(net::NodeId id) {
 
   std::int64_t hb = 0;
   while (!stopped_ && alive_[id]) {
+    if (engine_.now() < cpu_stall_until_[id]) {
+      // Slow host (fault injection): the core running the membership
+      // thread is descheduled, so heartbeats stop flowing and peers may
+      // falsely suspect this live node.
+      co_await engine_.sleep(cpu_stall_until_[id] - engine_.now());
+      continue;
+    }
     // 1. Heartbeat.
     sst.write_local_i64(f_hb_, ++hb);
     sim::Nanos post = sst.push_field(f_hb_, everyone);
@@ -254,9 +280,19 @@ sim::Co<> ManagedGroup::membership_actor(net::NodeId id) {
             break;
           }
         }
-        if (all_wedged &&
-            sst.read_i64(id, f_prop_guard_) <
-                static_cast<std::int64_t>(view_.epoch + 1)) {
+        // Propose once every survivor is wedged — and *re-propose* when the
+        // suspicion set has grown past the published proposal (a second
+        // crash during the view change). Without the re-proposal the old
+        // proposal waits forever on a dead member's acknowledgment, and its
+        // trim may cover a node that died before freezing its counters.
+        const bool proposed =
+            sst.read_i64(id, f_prop_guard_) ==
+            static_cast<std::int64_t>(view_.epoch + 1);
+        const bool stale =
+            proposed && static_cast<std::uint64_t>(
+                            sst.read_i64(id, f_prop_failed_)) !=
+                            ms.suspected_mask;
+        if (all_wedged && (!proposed || stale)) {
           for (std::size_t g = 0; g < num_subgroups_; ++g) {
             std::int64_t trim = INT64_MAX;
             for (net::NodeId peer : view_.members) {
@@ -313,6 +349,16 @@ sim::Co<> ManagedGroup::coordinator_actor() {
 
     const std::uint64_t suspected = all_suspicions();
     if (suspected == 0) continue;
+    std::uint64_t member_mask = 0;
+    for (net::NodeId id : view_.members) member_mask |= bit(id);
+    if ((member_mask & ~suspected) == 0) {
+      // Every member is suspected: no leader can emerge and no primary
+      // partition exists (mutual suspicion under symmetric NIC stalls).
+      // Halt the group — Derecho's total-failure outcome — instead of
+      // wedging forever. Members' states are frozen where they wedged.
+      stopped_ = true;
+      continue;
+    }
     const net::NodeId leader = current_leader(suspected);
     if (!alive_[leader]) continue;  // leader crashed: suspicion will spread
     sst::Sst& lsst = *member_sst_[leader];
@@ -366,6 +412,11 @@ void ManagedGroup::install_next_view(std::uint64_t failed_mask,
       if (node.find(epoch_subgroups_[g]) == nullptr) continue;
       node.force_deliver_through(epoch_subgroups_[g], trim[g]);
     }
+    // Survivors finish flushing their persistence queues inside the
+    // install barrier: a reconfiguration never loses a survivor's
+    // delivered-but-unflushed appends. (A crashed node's queue IS lost —
+    // its durable log ends at whatever it had flushed.)
+    node.flush_persist_queue();
   }
 
   // Compose the next view.
@@ -375,14 +426,21 @@ void ManagedGroup::install_next_view(std::uint64_t failed_mask,
     if (failed_mask & bit(id)) {
       next.departed.push_back(id);
       if (alive_[id]) {
-        // Graceful leave: the node departs now.
+        // Graceful leave (or false suspicion of a live node): it departs.
         alive_[id] = 0;
         fabric_.isolate(id);
       }
     } else if (alive_[id]) {
       next.members.push_back(id);
+    } else {
+      // Crashed after the proposal was published (so not in failed_mask):
+      // it still departs in this transition.
+      next.departed.push_back(id);
     }
   }
+  // Fold every old-epoch member's durable log into the cross-epoch
+  // accumulator before the cluster is retired.
+  for (net::NodeId id : view_.members) capture_persistent_logs(id);
   if (next.members.empty()) {
     stopped_ = true;
     return;
@@ -413,11 +471,96 @@ void ManagedGroup::install_next_view(std::uint64_t failed_mask,
 }
 
 void ManagedGroup::crash(net::NodeId node) {
+  // Idempotent, and safe at any protocol phase — including while a view
+  // change for an earlier failure is already in progress. The membership
+  // layer handles the overlap: survivors suspect this node too, the leader
+  // re-proposes with the grown failure set, and one install removes both.
+  if (!alive_[node]) return;
   alive_[node] = 0;
   fabric_.isolate(node);
   if (epoch_cluster_ && epoch_cluster_->is_member(node)) {
     epoch_cluster_->node(node).stop();
   }
+}
+
+void ManagedGroup::throttle_cpu(net::NodeId node, sim::Nanos duration) {
+  assert(node < cfg_.nodes);
+  const sim::Nanos until = engine_.now() + duration;
+  if (until > cpu_stall_until_[node]) cpu_stall_until_[node] = until;
+  if (alive_[node] && epoch_cluster_ && epoch_cluster_->is_member(node)) {
+    epoch_cluster_->node(node).set_cpu_stall_until(cpu_stall_until_[node]);
+  }
+}
+
+void ManagedGroup::degrade_ssd(net::NodeId node, sim::Nanos duration,
+                               sim::Nanos extra) {
+  assert(node < cfg_.nodes);
+  ssd_fault_until_[node] = engine_.now() + duration;
+  ssd_extra_latency_[node] = extra;
+  if (alive_[node] && epoch_cluster_ && epoch_cluster_->is_member(node)) {
+    epoch_cluster_->node(node).set_ssd_fault(ssd_fault_until_[node], extra);
+  }
+}
+
+void ManagedGroup::capture_persistent_logs(net::NodeId node) {
+  if (epoch_cluster_ == nullptr || !epoch_cluster_->is_member(node)) return;
+  Node& n = epoch_cluster_->node(node);
+  for (std::size_t g = 0; g < num_subgroups_; ++g) {
+    if (n.find(epoch_subgroups_[g]) == nullptr) continue;
+    if (!n.find(epoch_subgroups_[g])->cfg.opts.persistent) continue;
+    const auto& log = n.persistent_log(epoch_subgroups_[g]);
+    auto& acc = plog_[node][g];
+    acc.insert(acc.end(), log.begin(), log.end());
+  }
+}
+
+std::vector<std::vector<std::byte>> ManagedGroup::persistent_log(
+    net::NodeId node, std::size_t subgroup_index) const {
+  std::vector<std::vector<std::byte>> out = plog_[node][subgroup_index];
+  if (epoch_cluster_ && epoch_cluster_->is_member(node)) {
+    const Node& n =
+        const_cast<Cluster&>(*epoch_cluster_).node(node);
+    const SubgroupState* s = n.find(epoch_subgroups_[subgroup_index]);
+    if (s != nullptr && s->cfg.opts.persistent) {
+      out.insert(out.end(), s->log.begin(), s->log.end());
+    }
+  }
+  return out;
+}
+
+std::string ManagedGroup::diagnostics_dump() const {
+  std::ostringstream os;
+  os << "group: epoch=" << view_.epoch
+     << " changing=" << (changing_ ? 1 : 0) << " members=[";
+  for (std::size_t i = 0; i < view_.members.size(); ++i) {
+    os << (i ? "," : "") << view_.members[i];
+  }
+  os << "] suspicions=0x" << std::hex << all_suspicions() << std::dec << "\n";
+  for (net::NodeId id = 0; id < cfg_.nodes; ++id) {
+    const MemberState& ms = mstate_[id];
+    os << "  node" << id << ": alive=" << int(alive_[id])
+       << " wedged=" << ms.wedged << " saw_proposal=" << ms.saw_proposal
+       << " susp=0x" << std::hex << ms.suspected_mask << std::dec
+       << " cpu_stall_until=" << cpu_stall_until_[id]
+       << " doorbell{signals="
+       << const_cast<net::Fabric&>(fabric_).doorbell(id).signals()
+       << ",waiters="
+       << const_cast<net::Fabric&>(fabric_).doorbell(id).waiters() << "}";
+    if (epoch_cluster_ && epoch_cluster_->is_member(id)) {
+      const Node& n = const_cast<Cluster&>(*epoch_cluster_).node(id);
+      for (std::size_t g = 0; g < num_subgroups_; ++g) {
+        const SubgroupState* s = n.find(epoch_subgroups_[g]);
+        if (s == nullptr) continue;
+        os << " sg" << g << "{claimed=" << s->claimed
+           << " pushed=" << s->pushed << " recv=" << s->received_num
+           << " delv=" << s->delivered_num;
+        if (s->cfg.opts.persistent) os << " persisted=" << s->persisted_local;
+        os << "}";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
 }
 
 void ManagedGroup::leave(net::NodeId node) {

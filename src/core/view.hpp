@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/group.hpp"
@@ -67,6 +68,7 @@ class ManagedGroup {
   void shutdown();
 
   sim::Engine& engine() noexcept { return engine_; }
+  const Config& config() const noexcept { return cfg_; }
   net::Fabric& fabric() noexcept { return fabric_; }
   const View& view() const noexcept { return view_; }
   std::uint32_t epoch() const noexcept { return view_.epoch; }
@@ -93,6 +95,30 @@ class ManagedGroup {
   /// Graceful leave: the node wedges cleanly and departs with no message
   /// loss (modeled as an announced suspicion).
   void leave(net::NodeId node);
+
+  /// Fault injection: deschedule `node`'s simulated threads (membership
+  /// heartbeats and the data-plane polling thread) for `duration` — a slow
+  /// host. Stalls longer than Config::failure_timeout provoke a *false
+  /// suspicion* of a live node, which the membership layer resolves by
+  /// removing it (the node observes its own suspicion and departs).
+  void throttle_cpu(net::NodeId node, sim::Nanos duration);
+
+  /// Fault injection: SSD latency spike at `node` — every flush op during
+  /// the window pays `extra` on top of the normal op latency. Stalls the
+  /// node's persistence frontier, never delivery.
+  void degrade_ssd(net::NodeId node, sim::Nanos duration, sim::Nanos extra);
+
+  /// Persistent subgroups: `node`'s accumulated on-disk log for subgroup
+  /// `subgroup_index` across every epoch it was a member of. Flushed
+  /// entries only — a crash loses the unflushed tail, a survivor's queue is
+  /// flushed inside each install barrier.
+  std::vector<std::vector<std::byte>> persistent_log(
+      net::NodeId node, std::size_t subgroup_index) const;
+
+  std::size_t num_subgroups() const noexcept { return num_subgroups_; }
+
+  /// True once every member has departed and the group has shut down.
+  bool halted() const noexcept { return stopped_; }
 
   bool is_alive(net::NodeId node) const { return alive_[node]; }
 
@@ -126,6 +152,10 @@ class ManagedGroup {
   void build_epoch_cluster();
   std::uint64_t all_suspicions() const;
   net::NodeId current_leader(std::uint64_t suspected) const;
+  /// Fold `node`'s current-epoch durable logs into the cross-epoch
+  /// accumulator (called for every epoch member at install time).
+  void capture_persistent_logs(net::NodeId node);
+  std::string diagnostics_dump() const;
 
   Config cfg_;
   SubgroupLayout layout_;
@@ -157,6 +187,15 @@ class ManagedGroup {
   // (node, sg_index) -> queue; handlers preserved across views.
   std::vector<std::vector<SendQueue>> queues_;
   std::vector<std::vector<DeliveryHandler>> handlers_;
+
+  // Fault-injection windows, reapplied to the fresh Node objects of every
+  // epoch cluster (faults outlive view changes).
+  std::vector<sim::Nanos> cpu_stall_until_;
+  std::vector<sim::Nanos> ssd_fault_until_;
+  std::vector<sim::Nanos> ssd_extra_latency_;
+
+  // (node, sg_index) -> durable log accumulated across retired epochs.
+  std::vector<std::vector<std::vector<std::vector<std::byte>>>> plog_;
 };
 
 }  // namespace spindle::core

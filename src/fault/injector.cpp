@@ -1,0 +1,43 @@
+#include "fault/injector.hpp"
+
+namespace spindle::fault {
+
+void FaultInjector::arm() {
+  sim::Engine& eng = group_.engine();
+  for (const FaultEvent& e : plan_.events) {
+    eng.schedule_fn(e.at, [this, e] { fire(e); });
+  }
+}
+
+void FaultInjector::fire(const FaultEvent& e) {
+  sim::Engine& eng = group_.engine();
+  net::Fabric& fab = group_.fabric();
+  switch (e.kind) {
+    case FaultKind::crash:
+      group_.crash(e.node);
+      break;
+    case FaultKind::nic_stall: {
+      fab.pause_egress(e.node);
+      const net::NodeId node = e.node;
+      eng.schedule_fn(eng.now() + e.duration,
+                      [&fab, node] { fab.resume_egress(node); });
+      break;
+    }
+    case FaultKind::link_fault: {
+      fab.set_link_fault(e.node, e.peer, e.factor, e.jitter);
+      const net::NodeId src = e.node, dst = e.peer;
+      eng.schedule_fn(eng.now() + e.duration, [&fab, src, dst] {
+        fab.set_link_fault(src, dst, 1.0, 0);
+      });
+      break;
+    }
+    case FaultKind::slow_cpu:
+      group_.throttle_cpu(e.node, e.duration);
+      break;
+    case FaultKind::ssd_fault:
+      group_.degrade_ssd(e.node, e.duration, e.extra);
+      break;
+  }
+}
+
+}  // namespace spindle::fault

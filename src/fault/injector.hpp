@@ -1,0 +1,28 @@
+#pragma once
+
+#include "core/view.hpp"
+#include "fault/plan.hpp"
+
+namespace spindle::fault {
+
+/// Executes a FaultPlan against a ManagedGroup through the simulation
+/// engine. Every fault onset/heal is an ordinary engine event, so injected
+/// runs remain bit-reproducible: same seed, same schedule, same outcome.
+class FaultInjector {
+ public:
+  FaultInjector(core::ManagedGroup& group, FaultPlan plan)
+      : group_(group), plan_(std::move(plan)) {}
+
+  /// Schedule every event of the plan. Call after group.start().
+  void arm();
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  void fire(const FaultEvent& e);
+
+  core::ManagedGroup& group_;
+  FaultPlan plan_;
+};
+
+}  // namespace spindle::fault

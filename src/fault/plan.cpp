@@ -1,0 +1,147 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/rng.hpp"
+
+namespace spindle::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::crash:
+      return "crash";
+    case FaultKind::nic_stall:
+      return "nic_stall";
+    case FaultKind::link_fault:
+      return "link_fault";
+    case FaultKind::slow_cpu:
+      return "slow_cpu";
+    case FaultKind::ssd_fault:
+      return "ssd_fault";
+  }
+  return "?";
+}
+
+std::string FaultEvent::to_string() const {
+  std::ostringstream os;
+  os << "t=" << at << "ns " << fault::to_string(kind) << " node=" << node;
+  switch (kind) {
+    case FaultKind::crash:
+      break;
+    case FaultKind::nic_stall:
+      os << " dur=" << duration << "ns";
+      break;
+    case FaultKind::link_fault:
+      os << "->" << peer << " dur=" << duration << "ns x" << factor
+         << " jitter=" << jitter << "ns";
+      break;
+    case FaultKind::slow_cpu:
+      os << " dur=" << duration << "ns";
+      break;
+    case FaultKind::ssd_fault:
+      os << " dur=" << duration << "ns extra=" << extra << "ns";
+      break;
+  }
+  return os.str();
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "FaultPlan{seed=" << seed << ", " << events.size() << " events}\n";
+  for (const FaultEvent& e : events) os << "  " << e.to_string() << "\n";
+  return os.str();
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const RandomSpec& spec) {
+  sim::Rng rng(seed ^ 0xc4a05u);
+  FaultPlan plan;
+  plan.seed = seed;
+
+  const auto draw_at = [&] {
+    return spec.min_at +
+           static_cast<sim::Nanos>(rng.below(static_cast<std::uint64_t>(
+               spec.horizon - spec.min_at)));
+  };
+
+  // Crashes: up to max_crashes distinct victims. Half the time cluster the
+  // crash onsets tightly so the second failure lands inside the first
+  // failure's view change (the cascading / double-failure window).
+  const std::size_t n_crashes = rng.below(spec.max_crashes + 1);
+  std::vector<net::NodeId> victims;
+  while (victims.size() < n_crashes) {
+    const auto v = static_cast<net::NodeId>(rng.below(spec.nodes));
+    if (std::find(victims.begin(), victims.end(), v) == victims.end()) {
+      victims.push_back(v);
+    }
+  }
+  const bool cascade = n_crashes >= 2 && rng.below(2) == 0;
+  sim::Nanos first_crash_at = 0;
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::crash;
+    e.node = victims[i];
+    if (i == 0 || !cascade) {
+      e.at = draw_at();
+      first_crash_at = e.at;
+    } else {
+      // Within ~2 failure timeouts of the first crash: sometimes the exact
+      // same instant, usually mid-view-change.
+      e.at = first_crash_at +
+             static_cast<sim::Nanos>(rng.below(
+                 static_cast<std::uint64_t>(2 * spec.failure_timeout + 1)));
+    }
+    plan.events.push_back(e);
+  }
+
+  // Degradations: transient faults on any node, including crash victims
+  // (a node that limps before dying stresses the wedge/trim path hardest).
+  const std::size_t n_degrade = rng.below(spec.max_degradations + 1);
+  for (std::size_t i = 0; i < n_degrade; ++i) {
+    FaultEvent e;
+    e.node = static_cast<net::NodeId>(rng.below(spec.nodes));
+    e.at = draw_at();
+    switch (rng.below(4)) {
+      case 0:
+        e.kind = FaultKind::nic_stall;
+        // Mostly below the failure timeout (benign back-pressure), the
+        // tail above it (indistinguishable from a crash until it heals).
+        e.duration = static_cast<sim::Nanos>(
+            rng.below(static_cast<std::uint64_t>(spec.failure_timeout)) +
+            rng.below(static_cast<std::uint64_t>(spec.failure_timeout)));
+        break;
+      case 1:
+        e.kind = FaultKind::link_fault;
+        e.peer = static_cast<net::NodeId>(rng.below(spec.nodes));
+        if (e.peer == e.node) e.peer = (e.peer + 1) % spec.nodes;
+        e.duration = static_cast<sim::Nanos>(
+            rng.below(static_cast<std::uint64_t>(spec.horizon / 2)));
+        e.factor = 1.0 + static_cast<double>(rng.below(16));
+        e.jitter = static_cast<sim::Nanos>(rng.below(2) == 0
+                                               ? 0
+                                               : rng.below(5000));
+        break;
+      case 2:
+        e.kind = FaultKind::slow_cpu;
+        e.duration = static_cast<sim::Nanos>(
+            rng.below(static_cast<std::uint64_t>(spec.failure_timeout)) +
+            rng.below(static_cast<std::uint64_t>(spec.failure_timeout)));
+        break;
+      default:
+        e.kind = FaultKind::ssd_fault;
+        e.duration = static_cast<sim::Nanos>(
+            rng.below(static_cast<std::uint64_t>(spec.horizon / 2)));
+        e.extra = static_cast<sim::Nanos>(1000 + rng.below(50'000));
+        break;
+    }
+    plan.events.push_back(e);
+  }
+
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.at < b.at;
+            });
+  return plan;
+}
+
+}  // namespace spindle::fault

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "sim/time.hpp"
+
+namespace spindle::fault {
+
+/// Fault taxonomy for the chaos harness. Every fault is expressed against
+/// the simulation clock, so a plan is a pure function of its seed and the
+/// whole run replays bit-identically.
+enum class FaultKind : std::uint8_t {
+  crash,       // fail-stop: node halts, traffic dropped
+  nic_stall,   // egress pause at the fabric (HCA back-pressure / PFC storm)
+  link_fault,  // one directed link: latency multiplier + jitter
+  slow_cpu,    // deschedule the node's threads (slow host / GC pause)
+  ssd_fault,   // persistence-flush latency spike at one node
+};
+
+const char* to_string(FaultKind k);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::crash;
+  sim::Nanos at = 0;          // virtual time of onset
+  net::NodeId node = 0;       // afflicted node (src for link_fault)
+  net::NodeId peer = 0;       // link_fault only: destination node
+  sim::Nanos duration = 0;    // transient faults: window length (crash: n/a)
+  double factor = 1.0;        // link_fault: latency multiplier
+  sim::Nanos jitter = 0;      // link_fault: uniform extra latency bound
+  sim::Nanos extra = 0;       // ssd_fault: added per-op flush latency
+
+  std::string to_string() const;
+};
+
+/// A deterministic fault schedule: either hand-written or generated from a
+/// seed. The seed is the replay token — print it on failure and the whole
+/// schedule (and hence the whole run) can be reconstructed.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultEvent> events;
+
+  /// Shape parameters for random plan generation.
+  struct RandomSpec {
+    std::size_t nodes = 4;
+    sim::Nanos min_at = sim::micros(50);
+    sim::Nanos horizon = sim::millis(4);
+    // At most nodes-2 crashes so a quorum of >= 2 members always survives
+    // (the membership protocol needs a leader plus one witness).
+    std::size_t max_crashes = 2;
+    std::size_t max_degradations = 3;
+    // Group failure timeout: used to size slow_cpu windows so that some
+    // draws stay below the timeout (benign) and some exceed it (false
+    // suspicion of a live node).
+    sim::Nanos failure_timeout = sim::micros(400);
+  };
+
+  static FaultPlan random(std::uint64_t seed, const RandomSpec& spec);
+
+  std::string to_string() const;
+};
+
+}  // namespace spindle::fault

@@ -1,0 +1,202 @@
+#include "fault/vsync.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <sstream>
+
+namespace spindle::fault {
+
+std::vector<std::byte> VsyncChecker::make_payload(net::NodeId sender,
+                                                  std::uint64_t index,
+                                                  std::size_t size) {
+  assert(size >= kHeaderBytes);
+  std::vector<std::byte> p(size);
+  const std::uint64_t s = sender;
+  std::memcpy(p.data(), &s, 8);
+  std::memcpy(p.data() + 8, &index, 8);
+  return p;
+}
+
+VsyncChecker::Tag VsyncChecker::decode(std::span<const std::byte> data) {
+  Tag t;
+  assert(data.size() >= kHeaderBytes);
+  std::memcpy(&t.sender, data.data(), 8);
+  std::memcpy(&t.index, data.data() + 8, 8);
+  return t;
+}
+
+std::string VsyncChecker::tag_str(const Tag& t) {
+  std::ostringstream os;
+  os << "(s" << t.sender << "#" << t.index << ")";
+  return os.str();
+}
+
+void VsyncChecker::attach(core::ManagedGroup& group) {
+  nodes_ = group.view().members.size();
+  subgroups_ = group.num_subgroups();
+  seq_.assign(nodes_, std::vector<std::vector<Tag>>(subgroups_));
+  sent_.assign(subgroups_, std::vector<std::uint64_t>(nodes_, 0));
+  persistent_.assign(subgroups_, 0);
+  for (std::size_t g = 0; g < subgroups_; ++g) {
+    persistent_[g] =
+        group.cluster().subgroup_config(static_cast<core::SubgroupId>(g))
+            .opts.persistent
+            ? 1
+            : 0;
+  }
+  for (net::NodeId n = 0; n < nodes_; ++n) {
+    for (std::size_t g = 0; g < subgroups_; ++g) {
+      group.set_delivery_handler(n, g, [this, n, g](const core::Delivery& d) {
+        seq_[n][g].push_back(decode(d.data));
+      });
+    }
+  }
+}
+
+std::uint64_t VsyncChecker::note_send(net::NodeId sender, std::size_t sg) {
+  return sent_[sg][sender]++;
+}
+
+std::uint64_t VsyncChecker::delivered_from(net::NodeId node, std::size_t sg,
+                                           net::NodeId sender) const {
+  std::uint64_t c = 0;
+  for (const Tag& t : seq_[node][sg]) {
+    if (t.sender == sender) ++c;
+  }
+  return c;
+}
+
+std::vector<std::string> VsyncChecker::check(
+    const core::ManagedGroup& group) const {
+  std::vector<std::string> violations;
+  const auto fail = [&](std::string msg) {
+    violations.push_back(std::move(msg));
+  };
+
+  // A halted group (total failure: every member suspected or departed) has
+  // no survivors — its members wedged at arbitrary points, so they are held
+  // to the victim contract (prefix agreement), not the survivor contract.
+  const std::vector<net::NodeId>& final_members = group.view().members;
+  const bool halted = group.halted();
+  const auto is_survivor = [&](net::NodeId n) {
+    return !halted &&
+           std::find(final_members.begin(), final_members.end(), n) !=
+               final_members.end();
+  };
+  // `prefix_of(a, b)`: a is a (possibly improper) prefix of b.
+  const auto prefix_of = [](const std::vector<Tag>& a,
+                            const std::vector<Tag>& b) {
+    return a.size() <= b.size() && std::equal(a.begin(), a.end(), b.begin());
+  };
+
+  for (std::size_t g = 0; g < subgroups_; ++g) {
+    std::ostringstream pre;
+    pre << "sg" << g << ": ";
+
+    std::vector<net::NodeId> survivors, victims;
+    for (net::NodeId n = 0; n < nodes_; ++n) {
+      (is_survivor(n) ? survivors : victims).push_back(n);
+    }
+
+    // (1) identical sequence at every survivor.
+    for (std::size_t i = 1; i < survivors.size(); ++i) {
+      if (seq_[survivors[i]][g] != seq_[survivors[0]][g]) {
+        std::ostringstream os;
+        os << pre.str() << "survivor node" << survivors[i]
+           << " sequence (len " << seq_[survivors[i]][g].size()
+           << ") differs from node" << survivors[0] << " (len "
+           << seq_[survivors[0]][g].size() << ")";
+        fail(os.str());
+      }
+    }
+
+    // (3) per-sender FIFO, no gaps, no duplicates — at every node.
+    for (net::NodeId n = 0; n < nodes_; ++n) {
+      std::vector<std::uint64_t> next(nodes_, 0);
+      for (const Tag& t : seq_[n][g]) {
+        if (t.sender >= nodes_) {
+          fail(pre.str() + "node" + std::to_string(n) +
+               " delivered garbage tag " + tag_str(t));
+          continue;
+        }
+        if (t.index != next[t.sender]) {
+          std::ostringstream os;
+          os << pre.str() << "node" << n << " FIFO violation: got "
+             << tag_str(t) << ", expected index " << next[t.sender];
+          fail(os.str());
+        }
+        next[t.sender] = std::max(next[t.sender], t.index + 1);
+      }
+    }
+
+    // (2) exactly-once + completeness for surviving senders.
+    if (!survivors.empty()) {
+      const std::vector<Tag>& ref = seq_[survivors[0]][g];
+      std::vector<std::uint64_t> got(nodes_, 0);
+      for (const Tag& t : ref) {
+        if (t.sender < nodes_) ++got[t.sender];
+      }
+      for (net::NodeId s : survivors) {
+        if (got[s] != sent_[g][s]) {
+          std::ostringstream os;
+          os << pre.str() << "surviving sender node" << s << " sent "
+             << sent_[g][s] << " messages but " << got[s]
+             << " were delivered";
+          fail(os.str());
+        }
+      }
+      // (4) victim sequences are prefixes of the survivor sequence.
+      for (net::NodeId v : victims) {
+        if (!prefix_of(seq_[v][g], ref)) {
+          std::ostringstream os;
+          os << pre.str() << "victim node" << v << " sequence (len "
+             << seq_[v][g].size()
+             << ") is not a prefix of the survivors' sequence (len "
+             << ref.size() << ")";
+          fail(os.str());
+        }
+      }
+    } else {
+      // No survivors: all sequences must still be pairwise prefixes.
+      for (std::size_t i = 0; i < victims.size(); ++i) {
+        for (std::size_t j = i + 1; j < victims.size(); ++j) {
+          const auto& a = seq_[victims[i]][g];
+          const auto& b = seq_[victims[j]][g];
+          if (!prefix_of(a, b) && !prefix_of(b, a)) {
+            std::ostringstream os;
+            os << pre.str() << "node" << victims[i] << " and node"
+               << victims[j] << " sequences diverge";
+            fail(os.str());
+          }
+        }
+      }
+    }
+
+    // (5) persistent logs agree pairwise as prefixes.
+    if (persistent_[g]) {
+      std::vector<std::vector<std::vector<std::byte>>> logs(nodes_);
+      for (net::NodeId n = 0; n < nodes_; ++n) {
+        logs[n] = group.persistent_log(n, g);
+      }
+      const auto log_prefix = [](const auto& a, const auto& b) {
+        return a.size() <= b.size() &&
+               std::equal(a.begin(), a.end(), b.begin());
+      };
+      for (net::NodeId i = 0; i < nodes_; ++i) {
+        for (net::NodeId j = i + 1; j < nodes_; ++j) {
+          if (!log_prefix(logs[i], logs[j]) && !log_prefix(logs[j], logs[i])) {
+            std::ostringstream os;
+            os << pre.str() << "persistent logs of node" << i << " (len "
+               << logs[i].size() << ") and node" << j << " (len "
+               << logs[j].size() << ") diverge";
+            fail(os.str());
+          }
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace spindle::fault

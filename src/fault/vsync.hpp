@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/view.hpp"
+
+namespace spindle::fault {
+
+/// Reusable virtual-synchrony invariant checker.
+///
+/// Attach to a ManagedGroup before sending: the checker installs delivery
+/// handlers on every (node, subgroup) and records the delivery sequences
+/// across all views. Payloads must be built with make_payload(), which
+/// embeds (sender, per-sender index) in the first 16 bytes. After the run,
+/// check() verifies the full virtual-synchrony contract:
+///
+///   1. every surviving member observed the identical delivery sequence;
+///   2. exactly-once and complete delivery for every surviving sender
+///      (each message noted via note_send appears exactly once);
+///   3. every node's sequence is per-sender FIFO with no gaps or
+///      duplicates — including nodes that crashed mid-run;
+///   4. a victim's sequence is a prefix of the survivors' sequence (if no
+///      member survived, all victim sequences are pairwise prefixes);
+///   5. for persistent subgroups, on-disk logs agree pairwise as prefixes
+///      across all nodes (a crash may truncate, never diverge).
+///
+/// check() returns human-readable violation strings; empty means pass.
+class VsyncChecker {
+ public:
+  static constexpr std::size_t kHeaderBytes = 16;
+
+  /// Payload of `size` bytes (>= kHeaderBytes) tagged with (sender, index).
+  static std::vector<std::byte> make_payload(net::NodeId sender,
+                                             std::uint64_t index,
+                                             std::size_t size);
+
+  /// Install recording delivery handlers for every node and subgroup.
+  /// Must be called before the app installs its own handlers (the checker
+  /// owns the delivery handler slot; it forwards nothing).
+  void attach(core::ManagedGroup& group);
+
+  /// Record that `sender` submitted its next message to subgroup `sg`
+  /// (enables the completeness half of invariant 2). Returns the message's
+  /// per-sender index, for make_payload().
+  std::uint64_t note_send(net::NodeId sender, std::size_t sg);
+
+  /// Messages delivered at `node` in `sg` that were sent by `sender`.
+  std::uint64_t delivered_from(net::NodeId node, std::size_t sg,
+                               net::NodeId sender) const;
+
+  /// Total messages delivered at `node` in `sg`.
+  std::size_t delivered_total(net::NodeId node, std::size_t sg) const {
+    return seq_[node][sg].size();
+  }
+
+  /// Run all invariant checks. `group` supplies the final view (survivor
+  /// set) and the persistent logs.
+  std::vector<std::string> check(const core::ManagedGroup& group) const;
+
+ private:
+  struct Tag {
+    std::uint64_t sender = 0;
+    std::uint64_t index = 0;
+    bool operator==(const Tag&) const = default;
+  };
+  static Tag decode(std::span<const std::byte> data);
+  static std::string tag_str(const Tag& t);
+
+  std::size_t nodes_ = 0;
+  std::size_t subgroups_ = 0;
+  // [node][sg] -> delivery sequence observed across all views.
+  std::vector<std::vector<std::vector<Tag>>> seq_;
+  // [sg][sender] -> number of messages submitted.
+  std::vector<std::vector<std::uint64_t>> sent_;
+  std::vector<char> persistent_;  // per subgroup
+};
+
+}  // namespace spindle::fault

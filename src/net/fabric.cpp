@@ -16,7 +16,10 @@ Fabric::Fabric(sim::Engine& engine, const TimingModel& timing,
       ingress_free_(n_nodes, 0),
       control_egress_free_(n_nodes, 0),
       last_post_time_(n_nodes, -1),
-      burst_end_(n_nodes, -1) {
+      burst_end_(n_nodes, -1),
+      egress_paused_(n_nodes, 0),
+      egress_queue_(n_nodes),
+      link_faults_(n_nodes * n_nodes) {
   doorbells_.reserve(n_nodes);
   for (std::size_t i = 0; i < n_nodes; ++i) {
     doorbells_.push_back(std::make_unique<sim::Signal>(engine));
@@ -79,9 +82,42 @@ sim::Nanos Fabric::post_write(NodeId src_node, RegionId dst,
     return cost;
   }
 
+  // Snapshot the payload now (DMA reads source memory at transmission; the
+  // SST push discipline guarantees the source is not mutated in a way that
+  // violates monotonicity, but we snapshot for strict post-time semantics).
+  std::vector<std::byte> payload(src.begin(), src.end());
+
+  if (egress_paused_[src_node]) {
+    // NIC stall (fault injection): the verb is posted and the CPU cost is
+    // paid, but the send queue backs up until resume_egress().
+    egress_queue_[src_node].push_back(
+        QueuedWrite{dst, dst_offset, std::move(payload)});
+    return cost;
+  }
+
   // The verb reaches the NIC when the CPU finishes posting it.
-  const sim::Nanos ready = now + cost;
-  const sim::Nanos occ = timing_.occupancy(src.size());
+  transmit(src_node, dst, dst_offset, std::move(payload), now + cost);
+  return cost;
+}
+
+void Fabric::transmit(NodeId src_node, RegionId dst, std::size_t dst_offset,
+                      std::vector<std::byte> payload, sim::Nanos ready) {
+  Region& region = regions_[dst.index];
+  const NodeId dst_node = region.node;
+  const sim::Nanos occ = timing_.occupancy(payload.size());
+
+  // Link-fault shaping (fault injection): scaled latency plus jitter. The
+  // per-QP FIFO clamp below keeps writes ordered regardless of the draw.
+  const LinkFault& lf = link_faults_[src_node * n_ + dst_node];
+  sim::Nanos adder = timing_.latency_adder(payload.size());
+  if (lf.latency_mult != 1.0) {
+    adder = static_cast<sim::Nanos>(static_cast<double>(adder) *
+                                    lf.latency_mult);
+  }
+  if (lf.jitter > 0) {
+    adder += static_cast<sim::Nanos>(
+        fault_rng_.below(static_cast<std::uint64_t>(lf.jitter)));
+  }
 
   sim::Nanos delivery;
   if (region.channel == Channel::control &&
@@ -92,14 +128,14 @@ sim::Nanos Fabric::post_write(NodeId src_node, RegionId dst,
     const sim::Nanos egress_end =
         std::max(control_egress_free_[src_node], ready) + occ;
     control_egress_free_[src_node] = egress_end;
-    delivery = egress_end + timing_.latency_adder(src.size());
+    delivery = egress_end + adder;
   } else {
     // Egress serialization at the sender's bulk lane.
     const sim::Nanos egress_end =
         std::max(egress_free_[src_node], ready) + occ;
     egress_free_[src_node] = egress_end;
     // Wire + pipelined stages, then ingress serialization at the receiver.
-    const sim::Nanos arrival = egress_end + timing_.latency_adder(src.size());
+    const sim::Nanos arrival = egress_end + adder;
     const sim::Nanos ingress_start =
         std::max(arrival - occ, ingress_free_[dst_node]);
     delivery = ingress_start + occ;
@@ -111,10 +147,6 @@ sim::Nanos Fabric::post_write(NodeId src_node, RegionId dst,
   if (delivery <= fifo) delivery = fifo + 1;
   fifo = delivery;
 
-  // Snapshot the payload now (DMA reads source memory at transmission; the
-  // SST push discipline guarantees the source is not mutated in a way that
-  // violates monotonicity, but we snapshot for strict post-time semantics).
-  std::vector<std::byte> payload(src.begin(), src.end());
   engine_.schedule_fn(
       delivery, [this, dst, dst_offset, dst_node,
                  data = std::move(payload)]() mutable {
@@ -124,12 +156,37 @@ sim::Nanos Fabric::post_write(NodeId src_node, RegionId dst,
         ++stats_[dst_node].writes_delivered;
         doorbells_[dst_node]->signal();
       });
-  return cost;
 }
 
 void Fabric::isolate(NodeId node) {
   assert(node < n_);
   isolated_[node] = 1;
+  egress_queue_[node].clear();  // a dead NIC's send queue is gone
+}
+
+void Fabric::pause_egress(NodeId node) {
+  assert(node < n_);
+  egress_paused_[node] = 1;
+}
+
+void Fabric::resume_egress(NodeId node) {
+  assert(node < n_);
+  if (!egress_paused_[node]) return;
+  egress_paused_[node] = 0;
+  auto queued = std::move(egress_queue_[node]);
+  egress_queue_[node].clear();
+  if (isolated_[node]) return;  // crashed while stalled: queue lost
+  const sim::Nanos now = engine_.now();
+  for (auto& w : queued) {
+    if (isolated_[regions_[w.dst.index].node]) continue;
+    transmit(node, w.dst, w.dst_offset, std::move(w.payload), now);
+  }
+}
+
+void Fabric::set_link_fault(NodeId src, NodeId dst, double latency_multiplier,
+                            sim::Nanos jitter) {
+  assert(src < n_ && dst < n_);
+  link_faults_[src * n_ + dst] = LinkFault{latency_multiplier, jitter};
 }
 
 }  // namespace spindle::net

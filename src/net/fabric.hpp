@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <span>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "net/timing.hpp"
 #include "sim/engine.hpp"
 #include "sim/mutex.hpp"
+#include "sim/rng.hpp"
 
 namespace spindle::net {
 
@@ -82,6 +84,25 @@ class Fabric {
   void isolate(NodeId node);
   bool is_isolated(NodeId node) const { return isolated_[node]; }
 
+  /// Degraded-mode fault injection: stall all egress of `node` ("NIC
+  /// stall"). Writes posted while stalled queue up in post order — the
+  /// NIC's send queue backs up, nothing is lost — and drain through the
+  /// normal wire model when resume_egress() runs. A node whose stall
+  /// outlives the membership failure timeout looks exactly like a crashed
+  /// node to its peers (heartbeats stop arriving) while it keeps receiving,
+  /// which is the partial-failure case one-sided protocols find hardest.
+  void pause_egress(NodeId node);
+  void resume_egress(NodeId node);
+  bool egress_paused(NodeId node) const { return egress_paused_[node]; }
+
+  /// Degraded-mode fault injection: scale the latency of the src->dst link
+  /// by `latency_multiplier` and add uniform jitter in [0, jitter) per
+  /// write (congestion, routing flaps; RC retransmission shows up as
+  /// latency, never as loss). multiplier 1 and jitter 0 restore the link.
+  /// Per-QP FIFO is preserved regardless of jitter.
+  void set_link_fault(NodeId src, NodeId dst, double latency_multiplier,
+                      sim::Nanos jitter);
+
   struct NicStats {
     std::uint64_t writes_posted = 0;
     std::uint64_t bytes_posted = 0;
@@ -99,6 +120,21 @@ class Fabric {
     // within one QP — the RDMA memory-fence guarantee of §2.2.
     std::vector<sim::Nanos> fifo;
   };
+  struct LinkFault {
+    double latency_mult = 1.0;
+    sim::Nanos jitter = 0;
+  };
+  struct QueuedWrite {
+    RegionId dst;
+    std::size_t dst_offset;
+    std::vector<std::byte> payload;
+  };
+
+  /// Wire model shared by post_write and resume_egress: serialize at the
+  /// sender's port from `ready`, apply link latency (plus any injected
+  /// fault), clamp to per-QP FIFO, and schedule the landing.
+  void transmit(NodeId src_node, RegionId dst, std::size_t dst_offset,
+                std::vector<std::byte> payload, sim::Nanos ready);
 
   sim::Engine& engine_;
   TimingModel timing_;
@@ -115,6 +151,13 @@ class Fabric {
   std::vector<sim::Nanos> control_egress_free_;
   std::vector<sim::Nanos> last_post_time_;
   std::vector<sim::Nanos> burst_end_;
+
+  // Fault-injection state. The jitter RNG is part of the fabric so a run
+  // with the same seed and fault schedule is bit-reproducible.
+  std::vector<char> egress_paused_;
+  std::vector<std::deque<QueuedWrite>> egress_queue_;
+  std::vector<LinkFault> link_faults_;  // src * n_ + dst
+  sim::Rng fault_rng_{0xfab51c};
 };
 
 }  // namespace spindle::net

@@ -1,6 +1,8 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
+#include <cstdio>
+#include <sstream>
 #include <utility>
 
 namespace spindle::sim {
@@ -52,10 +54,36 @@ void Engine::run() {
 bool Engine::run_until(const std::function<bool()>& stop_condition,
                        Nanos max_virtual) {
   while (!stop_condition()) {
-    if (max_virtual > 0 && now_ > max_virtual) return false;
-    if (!step()) return stop_condition();
+    if (max_virtual > 0 && now_ > max_virtual) {
+      if (diagnostics_provider_) {
+        std::fprintf(stderr,
+                     "sim::Engine::run_until: watchdog tripped at %lld ns\n%s",
+                     static_cast<long long>(now_), diagnostics().c_str());
+      }
+      return false;
+    }
+    if (!step()) {
+      if (stop_condition()) return true;
+      if (diagnostics_provider_) {
+        std::fprintf(stderr,
+                     "sim::Engine::run_until: event queue drained at %lld ns "
+                     "without meeting the stop condition\n%s",
+                     static_cast<long long>(now_), diagnostics().c_str());
+      }
+      return false;
+    }
   }
   return true;
+}
+
+std::string Engine::diagnostics() const {
+  std::ostringstream os;
+  os << "engine: t=" << now_ << "ns steps=" << steps_
+     << " pending_events=" << queue_.size();
+  if (!queue_.empty()) os << " next_event_at=" << queue_.top().at << "ns";
+  os << "\n";
+  if (diagnostics_provider_) os << diagnostics_provider_();
+  return os.str();
 }
 
 void Engine::run_to(Nanos t) {

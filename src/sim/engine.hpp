@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "sim/task.hpp"
@@ -68,6 +69,21 @@ class Engine {
   /// Run until virtual time reaches `t` (events at exactly `t` included).
   void run_to(Nanos t);
 
+  /// Install a callback that renders domain-level state (per-node protocol
+  /// frontiers, doorbells, ...) for the timeout dump below. One provider;
+  /// the owner of the engine (e.g. core::ManagedGroup) installs it.
+  void set_diagnostics_provider(std::function<std::string()> provider) {
+    diagnostics_provider_ = std::move(provider);
+  }
+
+  /// Human-readable snapshot of the engine (pending event count, virtual
+  /// time, next event) plus whatever the diagnostics provider reports.
+  /// run_until() dumps this to stderr when its watchdog trips, so a hung
+  /// run is debuggable instead of a bare failed assertion.
+  std::string diagnostics() const;
+
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+
  private:
   struct Event {
     Nanos at;
@@ -88,6 +104,7 @@ class Engine {
   std::uint64_t seq_ = 0;
   std::uint64_t steps_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::function<std::string()> diagnostics_provider_;
 };
 
 }  // namespace spindle::sim

@@ -103,6 +103,7 @@ class Signal {
   void signal();
 
   std::uint64_t signals() const noexcept { return signals_; }
+  std::size_t waiters() const noexcept { return waiters_.size(); }
 
  private:
   struct WaitState {

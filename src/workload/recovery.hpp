@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/view.hpp"
+
+namespace spindle::workload {
+
+/// Crash-recovery scenario: a group under continuous multicast load loses
+/// one member, and we measure the unavailability window the reconfiguration
+/// imposes on the survivors (§2.1's epoch termination is a stop-the-world
+/// protocol: sending and delivery freeze from wedge to install).
+struct RecoveryConfig {
+  std::size_t nodes = 4;
+  net::NodeId victim = 2;
+  sim::Nanos crash_at = sim::millis(2);
+  sim::Nanos horizon = sim::millis(6);      // total run length
+  sim::Nanos send_interval = sim::micros(2);  // per-sender submission period
+  std::uint32_t msg_size = 64;
+  std::uint64_t seed = 1;
+  sim::Nanos failure_timeout = sim::micros(400);
+};
+
+struct RecoveryResult {
+  // Offsets are relative to the crash instant.
+  sim::Nanos detect_ns = 0;     // crash -> suspicion raised (wedge begins)
+  sim::Nanos install_ns = 0;    // crash -> next view installed
+  sim::Nanos first_delivery_ns = 0;  // crash -> first post-install delivery
+  sim::Nanos max_gap_ns = 0;    // longest delivery gap at the observer
+  double pre_mmps = 0;          // observer throughput before the crash, M/s
+  double post_mmps = 0;         // observer throughput after reinstall, M/s
+  std::uint64_t delivered_total = 0;
+};
+
+/// Runs the scenario to completion; deterministic for a given config.
+RecoveryResult run_recovery(const RecoveryConfig& cfg);
+
+}  // namespace spindle::workload

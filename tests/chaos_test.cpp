@@ -1,0 +1,381 @@
+// Chaos sweep: hundreds of seeded random fault schedules (crashes,
+// cascading crashes, NIC stalls, link degradation, slow hosts, SSD
+// latency spikes) executed deterministically against a busy group, each
+// verified with the full virtual-synchrony contract (fault::VsyncChecker).
+//
+// Every run is a pure function of its seed. On failure the test prints the
+// seed, the complete fault schedule and the engine diagnostics; replay one
+// schedule bit-identically with:
+//
+//   SPINDLE_CHAOS_RUNS=1 SPINDLE_CHAOS_SEED=<seed> ./tests/chaos_test
+//
+// The sweep size defaults to 200 schedules and scales with the
+// SPINDLE_CHAOS_RUNS environment variable (nightly runs use thousands).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/vsync.hpp"
+
+namespace spindle {
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 0xc4a0500000000ULL;
+
+std::vector<std::uint64_t> chaos_seeds() {
+  if (const char* s = std::getenv("SPINDLE_CHAOS_SEED")) {
+    return {std::strtoull(s, nullptr, 0)};
+  }
+  std::size_t runs = 200;
+  if (const char* r = std::getenv("SPINDLE_CHAOS_RUNS")) {
+    runs = std::strtoull(r, nullptr, 10);
+  }
+  std::vector<std::uint64_t> seeds(runs);
+  for (std::size_t i = 0; i < runs; ++i) seeds[i] = kBaseSeed + i;
+  return seeds;
+}
+
+class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+struct ChaosOutcome {
+  bool done = false;
+  std::string dump;           // seed + schedule + replay command
+  std::string diagnostics;    // engine/protocol state if !done
+  std::vector<std::string> violations;
+  // Flattened per-node delivery observations, for replay comparison.
+  std::vector<std::uint64_t> trace;
+  // Coverage accounting.
+  std::uint32_t epochs = 0;
+  bool halted = false;
+  bool persistent = false;
+  std::size_t crashes_scheduled = 0;
+};
+
+// One chaos run, a pure function of `seed`: the group shape, the workload
+// and the fault schedule are all derived from it.
+ChaosOutcome run_chaos(std::uint64_t seed) {
+  // Group shape is itself seed-derived: 3-5 nodes, sometimes persistent.
+  sim::Rng shape(seed);
+  const std::size_t nodes = 3 + shape.below(3);
+  const bool persistent = shape.below(3) == 0;
+  const std::uint64_t msgs_per_sender = 16 + shape.below(25);
+
+  core::ManagedGroup::Config cfg;
+  cfg.nodes = nodes;
+  cfg.seed = seed;
+  core::ManagedGroup group(cfg, [persistent](const core::View& v) {
+    core::SubgroupConfig sc;
+    sc.name = "chaos";
+    sc.members = v.members;
+    sc.senders = v.members;
+    sc.opts = core::ProtocolOptions::spindle();
+    sc.opts.max_msg_size = 64;
+    sc.opts.window_size = 8;
+    sc.opts.persistent = persistent;
+    return std::vector<core::SubgroupConfig>{sc};
+  });
+  group.start();
+
+  fault::VsyncChecker checker;
+  checker.attach(group);
+
+  fault::FaultPlan::RandomSpec spec;
+  spec.nodes = nodes;
+  spec.max_crashes = nodes - 2;
+  spec.min_at = sim::micros(20);
+  spec.horizon = sim::millis(2);
+  spec.failure_timeout = cfg.failure_timeout;
+  fault::FaultInjector injector(group,
+                                fault::FaultPlan::random(seed, spec));
+  injector.arm();
+  const sim::Nanos last_fault_onset =
+      injector.plan().events.empty() ? 0 : injector.plan().events.back().at;
+
+  // Spread each sender's submissions over time so traffic is in flight
+  // when the faults land (an idle group would make the schedule vacuous).
+  for (net::NodeId n = 0; n < nodes; ++n) {
+    const sim::Nanos gap = 1 + shape.below(30'000);
+    for (std::uint64_t i = 0; i < msgs_per_sender; ++i) {
+      const std::uint64_t idx = checker.note_send(n, 0);
+      group.engine().schedule_fn(static_cast<sim::Nanos>(i) * gap, [&group, n,
+                                                                    idx] {
+        group.send(n, 0, fault::VsyncChecker::make_payload(n, idx, 64));
+      });
+    }
+  }
+
+  ChaosOutcome out;
+  // Completion: the group halted entirely (total failure is a legal chaos
+  // outcome), or every scheduled fault has fired, membership has settled
+  // (no dead node still in the view, no change in progress) and every
+  // current member delivered every current member's messages.
+  out.done = group.engine().run_until(
+      [&] {
+        if (group.halted()) return true;
+        if (group.engine().now() < last_fault_onset) return false;
+        if (group.view_change_in_progress()) return false;
+        for (net::NodeId m : group.view().members) {
+          if (!group.is_alive(m)) return false;
+          for (net::NodeId s : group.view().members) {
+            if (checker.delivered_from(m, 0, s) < msgs_per_sender) {
+              return false;
+            }
+          }
+        }
+        return true;
+      },
+      sim::millis(400));
+
+  {
+    std::ostringstream os;
+    os << "chaos seed=" << seed << " nodes=" << nodes
+       << " persistent=" << persistent << " msgs=" << msgs_per_sender
+       << "\n"
+       << injector.plan().to_string() << "replay: SPINDLE_CHAOS_RUNS=1 "
+       << "SPINDLE_CHAOS_SEED=" << seed << " ./tests/chaos_test\n";
+    out.dump = os.str();
+  }
+  out.epochs = group.epoch();
+  out.halted = group.halted();
+  out.persistent = persistent;
+  for (const fault::FaultEvent& e : injector.plan().events) {
+    if (e.kind == fault::FaultKind::crash) ++out.crashes_scheduled;
+  }
+  if (!out.done) {
+    out.diagnostics = group.engine().diagnostics();
+    return out;
+  }
+  out.violations = checker.check(group);
+  out.trace.push_back(group.engine().now());
+  for (net::NodeId n = 0; n < nodes; ++n) {
+    out.trace.push_back(checker.delivered_total(n, 0));
+    for (net::NodeId s = 0; s < nodes; ++s) {
+      out.trace.push_back(checker.delivered_from(n, 0, s));
+    }
+  }
+  return out;
+}
+
+TEST_P(ChaosSweep, VirtualSynchronyHoldsUnderRandomFaults) {
+  const ChaosOutcome out = run_chaos(GetParam());
+  ASSERT_TRUE(out.done) << "group did not quiesce after the fault schedule\n"
+                        << out.dump << out.diagnostics;
+  EXPECT_TRUE(out.violations.empty()) << [&] {
+    std::ostringstream os;
+    os << out.dump;
+    for (const std::string& v : out.violations) {
+      os << "VIOLATION: " << v << "\n";
+    }
+    return os.str();
+  }();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
+                         ::testing::ValuesIn(chaos_seeds()),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           std::ostringstream os;
+                           os << "seed" << std::hex << i.param;
+                           return os.str();
+                         });
+
+// The sweep must not silently become vacuous: over the first 100 fixed
+// seeds, a healthy generator produces runs with crashes, completed view
+// changes, persistent subgroups, and at least the *possibility* of halts.
+// (Deterministic: the seed population is fixed, so these counts are too.)
+TEST(ChaosCoverage, SeedPopulationExercisesTheProtocol) {
+  std::size_t with_crashes = 0, with_epochs = 0, persistent = 0, halted = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const ChaosOutcome out = run_chaos(kBaseSeed + i);
+    ASSERT_TRUE(out.done) << out.dump << out.diagnostics;
+    if (out.crashes_scheduled > 0) ++with_crashes;
+    if (out.epochs > 0) ++with_epochs;
+    if (out.persistent) ++persistent;
+    if (out.halted) ++halted;
+  }
+  EXPECT_GE(with_crashes, 30u);
+  EXPECT_GE(with_epochs, 30u);
+  EXPECT_GE(persistent, 15u);
+  // Halts (total failure) are rare but legal; no lower bound asserted.
+  RecordProperty("halted_runs", static_cast<int>(halted));
+}
+
+// Determinism contract behind the replay command: the same seed reproduces
+// the same run bit-for-bit — same quiescence time, same per-node delivery
+// counts, same verdicts.
+TEST(ChaosReplay, SameSeedIsBitIdentical) {
+  for (std::uint64_t seed : {kBaseSeed + 3, kBaseSeed + 17, kBaseSeed + 91}) {
+    const ChaosOutcome a = run_chaos(seed);
+    const ChaosOutcome b = run_chaos(seed);
+    ASSERT_EQ(a.done, b.done) << "seed " << seed;
+    EXPECT_EQ(a.trace, b.trace) << "replay diverged for seed " << seed;
+    EXPECT_EQ(a.violations, b.violations) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Named regressions: fault shapes the sweep surfaced, pinned explicitly.
+
+core::SubgroupLayout simple_layout(bool persistent) {
+  return [persistent](const core::View& v) {
+    core::SubgroupConfig sc;
+    sc.name = "chaos";
+    sc.members = v.members;
+    sc.senders = v.members;
+    sc.opts = core::ProtocolOptions::spindle();
+    sc.opts.max_msg_size = 64;
+    sc.opts.window_size = 8;
+    sc.opts.persistent = persistent;
+    return std::vector<core::SubgroupConfig>{sc};
+  };
+}
+
+struct NamedRun {
+  core::ManagedGroup group;
+  fault::VsyncChecker checker;
+  std::uint64_t msgs = 30;
+
+  NamedRun(std::size_t nodes, std::uint64_t seed, bool persistent)
+      : group(
+            [&] {
+              core::ManagedGroup::Config cfg;
+              cfg.nodes = nodes;
+              cfg.seed = seed;
+              return cfg;
+            }(),
+            simple_layout(persistent)) {
+    group.start();
+    checker.attach(group);
+    for (net::NodeId n = 0; n < nodes; ++n) {
+      for (std::uint64_t i = 0; i < msgs; ++i) {
+        group.send(n, 0,
+                   fault::VsyncChecker::make_payload(
+                       n, checker.note_send(n, 0), 64));
+      }
+    }
+  }
+
+  bool run_to_quiescence() {
+    return group.engine().run_until(
+        [&] {
+          if (group.halted()) return true;
+          if (group.view_change_in_progress()) return false;
+          for (net::NodeId m : group.view().members) {
+            for (net::NodeId s : group.view().members) {
+              if (checker.delivered_from(m, 0, s) < msgs) return false;
+            }
+          }
+          return true;
+        },
+        sim::millis(400));
+  }
+
+  void expect_clean() {
+    for (const std::string& v : checker.check(group)) {
+      ADD_FAILURE() << "VIOLATION: " << v;
+    }
+  }
+};
+
+TEST(ChaosNamed, TwoSimultaneousCrashes) {
+  NamedRun r(5, 77, /*persistent=*/false);
+  r.group.engine().schedule_fn(sim::micros(60), [&] {
+    r.group.crash(1);
+    r.group.crash(3);
+  });
+  ASSERT_TRUE(r.run_to_quiescence()) << r.group.engine().diagnostics();
+  EXPECT_EQ(r.group.view().members, (std::vector<net::NodeId>{0, 2, 4}));
+  r.expect_clean();
+}
+
+TEST(ChaosNamed, LeaderCrashDuringRaggedTrim) {
+  // Crash node 2, then crash the leader (node 0) mid-view-change: after
+  // suspicion has spread and wedging begun, before the install completes.
+  NamedRun r(5, 78, /*persistent=*/false);
+  r.group.engine().schedule_fn(sim::micros(60), [&] { r.group.crash(2); });
+  r.group.engine().schedule_fn(
+      sim::micros(60) + r.group.config().failure_timeout +
+          sim::micros(10),
+      [&] { r.group.crash(0); });
+  ASSERT_TRUE(r.run_to_quiescence()) << r.group.engine().diagnostics();
+  EXPECT_FALSE(r.group.is_alive(0));
+  EXPECT_FALSE(r.group.is_alive(2));
+  r.expect_clean();
+}
+
+TEST(ChaosNamed, CascadeCrashWhileWedged) {
+  // Second crash lands while the survivors are already wedged waiting on
+  // the first proposal — the leader must re-propose with the larger
+  // failure set instead of deadlocking on a dead node's install ack.
+  NamedRun r(5, 79, /*persistent=*/false);
+  r.group.engine().schedule_fn(sim::micros(100), [&] { r.group.crash(4); });
+  r.group.engine().schedule_fn(
+      sim::micros(100) + r.group.config().failure_timeout +
+          sim::micros(40),
+      [&] { r.group.crash(3); });
+  ASSERT_TRUE(r.run_to_quiescence()) << r.group.engine().diagnostics();
+  EXPECT_EQ(r.group.view().members, (std::vector<net::NodeId>{0, 1, 2}));
+  r.expect_clean();
+}
+
+TEST(ChaosNamed, PersistentMemberCrash) {
+  // A member of a persistent subgroup crashes mid-run: every pair of
+  // durable logs (including the victim's) must agree as prefixes, and the
+  // survivors' logs must cover everything delivered.
+  NamedRun r(4, 80, /*persistent=*/true);
+  r.group.engine().schedule_fn(sim::micros(120), [&] { r.group.crash(1); });
+  ASSERT_TRUE(r.run_to_quiescence()) << r.group.engine().diagnostics();
+  r.expect_clean();
+  // Survivor logs contain every non-null delivered message of the final
+  // sequence (flushed inside the install barrier, then at quiescence the
+  // remaining tail persists asynchronously — poll for it).
+  ASSERT_TRUE(r.group.engine().run_until(
+      [&] {
+        for (net::NodeId n : r.group.view().members) {
+          if (r.group.persistent_log(n, 0).size() <
+              r.checker.delivered_total(r.group.view().members[0], 0)) {
+            return false;
+          }
+        }
+        return true;
+      },
+      sim::millis(500)))
+      << r.group.engine().diagnostics();
+  r.expect_clean();
+}
+
+TEST(ChaosNamed, FalseSuspicionOfSlowNode) {
+  // Stall a live node's threads well past the failure timeout: the group
+  // must remove it (suspicions are never retracted) without violating the
+  // delivery contract, and the stalled node's observations stay a prefix.
+  NamedRun r(4, 81, /*persistent=*/false);
+  r.group.engine().schedule_fn(sim::micros(80), [&] {
+    r.group.throttle_cpu(2, 3 * r.group.config().failure_timeout);
+  });
+  ASSERT_TRUE(r.run_to_quiescence()) << r.group.engine().diagnostics();
+  EXPECT_EQ(r.group.view().members, (std::vector<net::NodeId>{0, 1, 3}));
+  r.expect_clean();
+}
+
+TEST(ChaosNamed, NicStallHealsWithoutSuspicion) {
+  // An egress pause shorter than the failure timeout must heal invisibly:
+  // no view change, nothing lost.
+  NamedRun r(4, 82, /*persistent=*/false);
+  r.group.engine().schedule_fn(sim::micros(100), [&] {
+    r.group.fabric().pause_egress(1);
+  });
+  r.group.engine().schedule_fn(sim::micros(100) + sim::micros(150), [&] {
+    r.group.fabric().resume_egress(1);
+  });
+  ASSERT_TRUE(r.run_to_quiescence()) << r.group.engine().diagnostics();
+  EXPECT_EQ(r.group.epoch(), 0u);
+  EXPECT_EQ(r.group.view().members.size(), 4u);
+  r.expect_clean();
+}
+
+}  // namespace
+}  // namespace spindle

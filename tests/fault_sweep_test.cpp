@@ -1,19 +1,17 @@
 // Failure-injection sweep: crash a node at many different points of a
 // busy run (including during a prior view change's aftermath) and verify
-// the virtual-synchrony guarantees every time:
+// the virtual-synchrony guarantees every time via fault::VsyncChecker:
 //   - survivors install the same shrunken view;
 //   - survivors deliver the identical sequence;
 //   - surviving senders lose nothing (all their messages delivered once);
-//   - the crashed sender's messages form a clean FIFO prefix.
+//   - the crashed node's observations form a clean prefix.
 
 #include <gtest/gtest.h>
 
-#include <cstring>
-#include <map>
-#include <set>
+#include <sstream>
 #include <vector>
 
-#include "core/view.hpp"
+#include "fault/vsync.hpp"
 
 namespace spindle::core {
 namespace {
@@ -51,20 +49,13 @@ TEST_P(FaultSweep, SurvivorsAgreeAndLoseNothing) {
   });
   group.start();
 
-  std::map<net::NodeId, std::vector<std::uint64_t>> delivered;
-  for (net::NodeId n = 0; n < kNodes; ++n) {
-    group.set_delivery_handler(n, 0, [&delivered, n](const Delivery& d) {
-      std::uint64_t tag = 0;
-      std::memcpy(&tag, d.data.data(), sizeof tag);
-      delivered[n].push_back(tag);
-    });
-  }
+  fault::VsyncChecker checker;
+  checker.attach(group);
   for (net::NodeId n = 0; n < kNodes; ++n) {
     for (std::uint64_t i = 0; i < kMsgs; ++i) {
-      std::vector<std::byte> payload(64);
-      const std::uint64_t tag = n * 1000 + i;
-      std::memcpy(payload.data(), &tag, sizeof tag);
-      group.send(n, 0, std::move(payload));
+      group.send(n, 0,
+                 fault::VsyncChecker::make_payload(
+                     n, checker.note_send(n, 0), 64));
     }
   }
 
@@ -82,41 +73,19 @@ TEST_P(FaultSweep, SurvivorsAgreeAndLoseNothing) {
           return false;
         }
         for (net::NodeId n : survivors) {
-          std::size_t surv_msgs = 0;
-          for (auto t : delivered[n]) {
-            if (t / 1000 != p.victim) ++surv_msgs;
+          for (net::NodeId s : survivors) {
+            if (checker.delivered_from(n, 0, s) < kMsgs) return false;
           }
-          if (surv_msgs < kMsgs * survivors.size()) return false;
         }
         return true;
       },
       sim::millis(200));
-  ASSERT_TRUE(done) << "survivors did not finish after the crash";
+  ASSERT_TRUE(done) << "survivors did not finish after the crash\n"
+                    << group.engine().diagnostics();
   EXPECT_EQ(group.view().members, survivors);
 
-  // Identical sequence at all survivors.
-  for (std::size_t i = 1; i < survivors.size(); ++i) {
-    ASSERT_EQ(delivered[survivors[i]], delivered[survivors[0]])
-        << "total order diverged after view change";
-  }
-
-  // Exactly-once for surviving senders; FIFO prefix for the victim.
-  const auto& seq = delivered[survivors[0]];
-  std::map<std::uint64_t, int> count;
-  for (auto t : seq) ++count[t];
-  for (net::NodeId n : survivors) {
-    for (std::uint64_t i = 0; i < kMsgs; ++i) {
-      EXPECT_EQ(count[n * 1000 + i], 1)
-          << "message " << n * 1000 + i << " lost or duplicated";
-    }
-  }
-  std::vector<std::uint64_t> victim_msgs;
-  for (auto t : seq) {
-    if (t / 1000 == p.victim) victim_msgs.push_back(t);
-  }
-  for (std::size_t i = 0; i < victim_msgs.size(); ++i) {
-    EXPECT_EQ(victim_msgs[i], p.victim * 1000 + i)
-        << "crashed sender's messages are not a FIFO prefix";
+  for (const std::string& v : checker.check(group)) {
+    ADD_FAILURE() << "VIOLATION: " << v;
   }
 }
 
