@@ -33,7 +33,7 @@ int main() {
       cfg.timing.post_cpu_next = cfg.timing.post_cpu_first;
     }
     auto r = workload::run_experiment(cfg);
-    const double post_pct = 100.0 * static_cast<double>(r.totals.post_cpu) /
+    const double post_pct = 100.0 * static_cast<double>(r.stats.total.post_cpu) /
                             16.0 / static_cast<double>(r.makespan);
     t.row({name, gbps(r.throughput_gbps),
            Table::num(r.median_latency_us, 0), Table::num(post_pct, 0)});

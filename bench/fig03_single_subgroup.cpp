@@ -52,7 +52,7 @@ int main() {
              (n == 16 ? paper_hint[pi] : "")});
       if (pattern == SenderPattern::all && n == 16) {
         batch16 = opt.last;
-        base16 = base.last.totals;
+        base16 = base.last.stats.total;
         base16_makespan = base.last.makespan;
       }
     }
@@ -62,7 +62,7 @@ int main() {
 
   // §4.1.1 insight counters, 16 senders. The paper's absolute counts are
   // for 1M messages/sender; we report per-message and fractional values.
-  const auto& ot = batch16.totals;
+  const auto& ot = batch16.stats.total;
   const double base_msgs = static_cast<double>(base16.messages_sent);
   const double opt_msgs = static_cast<double>(ot.messages_sent);
   Table c("Sec 4.1.1 counters (16 senders): baseline vs batching",

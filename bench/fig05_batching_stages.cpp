@@ -5,10 +5,44 @@
 // overall latency drops by nearly two orders of magnitude vs the baseline —
 // unlike traditional fixed-size sender batching, which trades latency away.
 
+#include <cstdlib>
+
 #include "bench_util.hpp"
+#include "trace/analysis.hpp"
 
 using namespace spindle;
 using namespace spindle::bench;
+
+namespace {
+
+// Observability quickstart (README): SPINDLE_TRACE_OUT=<file> re-runs the
+// fully batched 16-node configuration with pipeline tracing enabled, writes
+// a Chrome/Perfetto JSON dump there, and prints the trace-derived stage
+// batching + per-message lifecycle breakdown.
+void dump_trace(const char* out) {
+  ExperimentConfig cfg;
+  cfg.nodes = 16;
+  cfg.senders = SenderPattern::all;
+  cfg.message_size = 10240;
+  cfg.opts = core::ProtocolOptions::spindle();
+  cfg.messages_per_sender = scaled(200);
+  cfg.trace_out = out;
+  trace::BatchStats bs;
+  trace::LifecycleReport life;
+  cfg.trace_sink = [&](const trace::Tracer& tr) {
+    bs = trace::batch_stats(tr);
+    life = trace::lifecycle(tr);
+  };
+  const auto r = workload::run_experiment(cfg);
+  std::printf("\ntraced run: %llu events -> %s\n",
+              static_cast<unsigned long long>(r.trace_events), out);
+  std::printf("trace-derived batch sizes: send mean %.2f | receive mean %.2f"
+              " | delivery mean %.2f\n",
+              bs.send.mean(), bs.receive.mean(), bs.delivery.mean());
+  std::printf("%s", trace::format(life).c_str());
+}
+
+}  // namespace
 
 int main() {
   struct Stage {
@@ -40,5 +74,6 @@ int main() {
     }
   }
   t.print();
+  if (const char* out = std::getenv("SPINDLE_TRACE_OUT")) dump_trace(out);
   return 0;
 }

@@ -46,9 +46,9 @@ int main() {
 
   std::printf("== Figure 7: batch size distributions (16 senders, w=100) ==\n");
   std::printf("paper means: send 1.72, receive 22.18, delivery 35.19\n");
-  print_histogram("send batches", r.totals.send_batches);
-  print_histogram("receive batches", r.totals.receive_batches);
-  print_histogram("delivery batches", r.totals.delivery_batches);
+  print_histogram("send batches", r.stats.total.send_batches);
+  print_histogram("receive batches", r.stats.total.receive_batches);
+  print_histogram("delivery batches", r.stats.total.delivery_batches);
 
   Table t("Sec 4.1.3: mean batch sizes vs number of (inactive) subgroups",
           {"subgroups", "send", "receive", "delivery", "paper {s,r,d}"});
@@ -62,9 +62,9 @@ int main() {
     mc.active_subgroups = 1;
     mc.messages_per_sender = scaled(k >= 10 ? 200 : 400);
     auto mr = workload::run_experiment(mc);
-    t.row({Table::integer(k), Table::num(mr.totals.send_batches.mean(), 2),
-           Table::num(mr.totals.receive_batches.mean(), 2),
-           Table::num(mr.totals.delivery_batches.mean(), 2), paper[pi++]});
+    t.row({Table::integer(k), Table::num(mr.stats.total.send_batches.mean(), 2),
+           Table::num(mr.stats.total.receive_batches.mean(), 2),
+           Table::num(mr.stats.total.delivery_batches.mean(), 2), paper[pi++]});
   }
   t.print();
   return 0;

@@ -47,8 +47,8 @@ int main() {
     cfg.opts = core::ProtocolOptions::spindle();
     auto r = workload::run_experiment(cfg);
     t.row({c.name, gbps(r.throughput_gbps) + check_completed(r),
-           Table::integer(r.totals.nulls_sent),
-           Table::integer(r.totals.null_iterations), c.paper});
+           Table::integer(r.stats.total.nulls_sent),
+           Table::integer(r.stats.total.null_iterations), c.paper});
   }
   t.print();
 

@@ -37,7 +37,7 @@ void sweep(const char* title, const core::CpuModel& cpu) {
       t.row({pattern_name(pattern), Table::integer(n),
              gbps(off.throughput_gbps), gbps(on.throughput_gbps),
              Table::num(on.throughput_gbps / off.throughput_gbps, 3),
-             Table::integer(on.totals.nulls_sent)});
+             Table::integer(on.stats.total.nulls_sent)});
     }
   }
   t.print();

@@ -31,10 +31,10 @@ int main() {
     const double ratio = on.throughput_gbps / off.throughput_gbps;
     sum_ratio += ratio;
     ++count;
-    const double lw_off = 100.0 * static_cast<double>(off.totals.lock_wait) /
+    const double lw_off = 100.0 * static_cast<double>(off.stats.total.lock_wait) /
                           static_cast<double>(n) /
                           static_cast<double>(off.makespan);
-    const double lw_on = 100.0 * static_cast<double>(on.totals.lock_wait) /
+    const double lw_on = 100.0 * static_cast<double>(on.stats.total.lock_wait) /
                          static_cast<double>(n) /
                          static_cast<double>(on.makespan);
     t.row({Table::integer(n), gbps(off.throughput_gbps),

@@ -90,7 +90,7 @@ int main() {
         },
         sim::seconds(120));
     const double batched_gbps =
-        static_cast<double>(cluster.totals().bytes_delivered) / 16.0 /
+        static_cast<double>(cluster.stats().total.bytes_delivered) / 16.0 /
         sim::to_seconds(cluster.engine().now()) / 1e9;
     std::printf(
         "1us upcall, 16 senders: per-message upcalls %.2f GB/s vs batched "

@@ -1,11 +1,20 @@
 #include "core/group.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace spindle::core {
+
+void ClusterConfig::validate() const {
+  if (nodes == 0) {
+    throw std::invalid_argument("ClusterConfig: a cluster needs >= 1 node");
+  }
+  if (trace.enabled && trace.ring_capacity == 0) {
+    throw std::invalid_argument(
+        "ClusterConfig: trace.ring_capacity must be >= 1 when tracing is "
+        "enabled");
+  }
+}
 
 Cluster::Cluster(ClusterConfig cfg)
     : cfg_(cfg),
@@ -14,8 +23,10 @@ Cluster::Cluster(ClusterConfig cfg)
                                                   cfg.nodes)),
       engine_(owned_engine_.get()),
       fabric_(owned_fabric_.get()),
+      owned_tracer_(std::make_unique<trace::Tracer>(cfg.trace, cfg.nodes)),
+      tracer_(owned_tracer_.get()),
       rng_(cfg.seed) {
-  if (cfg.nodes == 0) throw std::invalid_argument("cluster needs >= 1 node");
+  cfg_.validate();
   for (std::size_t i = 0; i < cfg.nodes; ++i) {
     members_.push_back(static_cast<net::NodeId>(i));
   }
@@ -26,12 +37,19 @@ Cluster::Cluster(ClusterConfig cfg)
 }
 
 Cluster::Cluster(sim::Engine& engine, net::Fabric& fabric,
-                 const ClusterConfig& cfg, std::vector<net::NodeId> members)
+                 const ClusterConfig& cfg, std::vector<net::NodeId> members,
+                 trace::Tracer* tracer)
     : cfg_(cfg),
       engine_(&engine),
       fabric_(&fabric),
+      tracer_(tracer),
       rng_(cfg.seed),
       members_(std::move(members)) {
+  cfg_.validate();
+  if (tracer_ == nullptr) {
+    owned_tracer_ = std::make_unique<trace::Tracer>(cfg.trace, fabric.size());
+    tracer_ = owned_tracer_.get();
+  }
   if (members_.empty()) throw std::invalid_argument("empty member list");
   nodes_.resize(fabric.size());
   for (net::NodeId id : members_) {
@@ -42,31 +60,17 @@ Cluster::Cluster(sim::Engine& engine, net::Fabric& fabric,
 
 Cluster::~Cluster() { shutdown(); }
 
+Node& Cluster::node(net::NodeId id) {
+  if (!is_member(id)) {
+    throw std::out_of_range("node " + std::to_string(id) +
+                            " is not a member of this cluster");
+  }
+  return *nodes_[id];
+}
+
 SubgroupId Cluster::create_subgroup(SubgroupConfig cfg) {
   if (started_) throw std::logic_error("create_subgroup after start()");
-  if (cfg.members.empty()) throw std::invalid_argument("empty subgroup");
-  if (cfg.senders.empty()) throw std::invalid_argument("no senders");
-  std::unordered_set<net::NodeId> members(cfg.members.begin(),
-                                          cfg.members.end());
-  if (members.size() != cfg.members.size()) {
-    throw std::invalid_argument("duplicate members");
-  }
-  for (net::NodeId m : cfg.members) {
-    if (!is_member(m)) {
-      throw std::invalid_argument("subgroup member is not a cluster member");
-    }
-  }
-  for (net::NodeId s : cfg.senders) {
-    if (!members.contains(s)) {
-      throw std::invalid_argument("sender is not a member");
-    }
-  }
-  if (cfg.opts.window_size == 0 || cfg.opts.max_msg_size == 0) {
-    throw std::invalid_argument("window_size and max_msg_size must be > 0");
-  }
-  if (cfg.opts.persistent && cfg.opts.mode != DeliveryMode::atomic) {
-    throw std::invalid_argument("persistent mode requires atomic delivery");
-  }
+  cfg.validate(members_);
   subgroup_configs_.push_back(std::move(cfg));
   return static_cast<SubgroupId>(subgroup_configs_.size() - 1);
 }
@@ -109,10 +113,9 @@ void Cluster::start() {
   }
   sst::Sst::connect(ssts);
 
-  oracle_.resize(subgroup_configs_.size());
   for (SubgroupId sg = 0; sg < subgroup_configs_.size(); ++sg) {
     const SubgroupConfig& cfg = subgroup_configs_[sg];
-    oracle_[sg].resize(cfg.senders.size());
+    oracle_.add_subgroup(cfg.senders.size());
 
     std::vector<smc::RingGroup*> rings;
     for (net::NodeId member : cfg.members) {
@@ -155,6 +158,28 @@ void Cluster::start() {
     smc::RingGroup::connect(rings);
   }
 
+  // One snapshot collector per member: a consistent copy of the node's
+  // protocol counters with the live NIC statistics and lock-wait totals
+  // folded in, plus the per-subgroup drill-down.
+  for (net::NodeId id : members_) {
+    Node* node = nodes_[id].get();
+    registry_.add_collector([this, node, id](metrics::ClusterStats& stats) {
+      metrics::NodeStats ns;
+      ns.node = id;
+      ns.counters = node->counters();
+      const auto& nic = fabric_->stats(id);
+      ns.counters.rdma_writes_posted = nic.writes_posted;
+      ns.counters.rdma_bytes_posted = nic.bytes_posted;
+      ns.counters.post_cpu = nic.post_cpu;
+      ns.counters.lock_wait = node->lock().total_wait();
+      for (const auto& s : node->subgroups()) {
+        ns.subgroups.push_back(metrics::SubgroupStats{
+            s->id, s->cfg.name, node->delivered_in(s->id), s->predicate_cpu});
+      }
+      stats.nodes.push_back(std::move(ns));
+    });
+  }
+
   for (net::NodeId id : members_) nodes_[id]->start();
 }
 
@@ -174,44 +199,9 @@ void Cluster::crash(net::NodeId id) {
   nodes_[id]->stop();
 }
 
-void Cluster::record_send_time(SubgroupId sg, std::size_t sender,
-                               std::int64_t msg_index, sim::Nanos t) {
-  auto& v = oracle_[sg][sender];
-  if (v.size() <= static_cast<std::size_t>(msg_index)) {
-    v.resize(static_cast<std::size_t>(msg_index) + 1, -1);
-  }
-  v[static_cast<std::size_t>(msg_index)] = t;
-}
-
-sim::Nanos Cluster::send_time(SubgroupId sg, std::size_t sender,
-                              std::int64_t msg_index) const {
-  const auto& v = oracle_[sg][sender];
-  if (static_cast<std::size_t>(msg_index) >= v.size()) return -1;
-  return v[static_cast<std::size_t>(msg_index)];
-}
-
 std::uint64_t Cluster::total_delivered(SubgroupId sg) const {
   std::uint64_t total = 0;
   for (net::NodeId id : members_) total += nodes_[id]->delivered_in(sg);
-  return total;
-}
-
-void Cluster::refresh_nic_counters() {
-  for (net::NodeId id : members_) {
-    Node& node = *nodes_[id];
-    auto& c = node.counters();
-    const auto& st = fabric_->stats(id);
-    c.rdma_writes_posted = st.writes_posted;
-    c.rdma_bytes_posted = st.bytes_posted;
-    c.post_cpu = st.post_cpu;
-    c.lock_wait = node.lock().total_wait();
-  }
-}
-
-metrics::ProtocolCounters Cluster::totals() {
-  refresh_nic_counters();
-  metrics::ProtocolCounters total;
-  for (net::NodeId id : members_) total.merge(nodes_[id]->counters());
   return total;
 }
 

@@ -1,15 +1,16 @@
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "core/node.hpp"
 #include "core/options.hpp"
+#include "metrics/registry.hpp"
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
+#include "trace/trace.hpp"
 
 namespace spindle::core {
 
@@ -18,14 +19,20 @@ struct ClusterConfig {
   net::TimingModel timing{};
   CpuModel cpu{};
   std::uint64_t seed = 1;
+  trace::TraceConfig trace{};  // event tracing (off by default)
+
+  /// Throws std::invalid_argument with a descriptive message if the
+  /// configuration cannot form a cluster.
+  void validate() const;
 };
 
 /// A Derecho-style top-level group of simulated machines plus its
 /// subgroups. Owns the simulation engine, the RDMA fabric, one Node per
-/// machine, and the per-message send-time oracle used for latency metrics.
+/// machine, the pipeline tracer, and the metrics registry.
 ///
 /// Usage: construct, create_subgroup() for each application component,
-/// start(), spawn application actors on engine(), run.
+/// start(), spawn application actors on engine(), run. Observability:
+/// stats() for a merged counter snapshot, tracer() for the event stream.
 class Cluster {
  public:
   /// Standalone cluster: owns its engine and fabric; members are all of
@@ -34,16 +41,19 @@ class Cluster {
 
   /// Epoch cluster for virtual synchrony (core/view.hpp): shares an
   /// existing engine + fabric and spans only `members` (a subset of the
-  /// fabric's nodes — e.g. the survivors of a view change).
+  /// fabric's nodes — e.g. the survivors of a view change). When `tracer`
+  /// is given, events land in that shared stream (so one trace spans every
+  /// epoch); otherwise a private tracer is built from cfg.trace.
   Cluster(sim::Engine& engine, net::Fabric& fabric, const ClusterConfig& cfg,
-          std::vector<net::NodeId> members);
+          std::vector<net::NodeId> members, trace::Tracer* tracer = nullptr);
 
   ~Cluster();
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  /// Register a subgroup (before start()). Senders must be members;
-  /// delivery order within a round follows the order of `senders`.
+  /// Register a subgroup (before start()). The configuration is validated
+  /// against this cluster's membership; delivery order within a round
+  /// follows the order of `cfg.senders`.
   SubgroupId create_subgroup(SubgroupConfig cfg);
 
   /// Allocate and connect SST + ring buffers (the per-view memory layout of
@@ -60,10 +70,7 @@ class Cluster {
   bool is_member(net::NodeId id) const {
     return id < nodes_.size() && nodes_[id] != nullptr;
   }
-  Node& node(net::NodeId id) {
-    assert(is_member(id));
-    return *nodes_[id];
-  }
+  Node& node(net::NodeId id);
   sim::Engine& engine() noexcept { return *engine_; }
   net::Fabric& fabric() noexcept { return *fabric_; }
   const ClusterConfig& config() const noexcept { return cfg_; }
@@ -78,34 +85,44 @@ class Cluster {
   /// Crash a node: isolate it on the fabric and halt its threads.
   void crash(net::NodeId id);
 
-  // --- send-time oracle (latency measurement side channel) ---
-  void record_send_time(SubgroupId sg, std::size_t sender,
-                        std::int64_t msg_index, sim::Nanos t);
-  sim::Nanos send_time(SubgroupId sg, std::size_t sender,
-                       std::int64_t msg_index) const;
-
   /// Total application messages delivered by every member of `sg`
   /// (completion condition helper: equals members * sent when done).
   std::uint64_t total_delivered(SubgroupId sg) const;
 
-  /// Aggregate per-node counters; also copies fabric NIC statistics and
-  /// lock wait totals into each node's ProtocolCounters first.
-  metrics::ProtocolCounters totals();
-  void refresh_nic_counters();
+  // --- observability ---
+
+  /// One consistent snapshot of everything measurable: merged protocol
+  /// counters (NIC statistics and lock waits folded in), with per-node and
+  /// per-subgroup drill-down.
+  metrics::ClusterStats stats() const { return registry_.snapshot(); }
+
+  /// The snapshot registry behind stats(); extend it to fold additional
+  /// counter sources into the same snapshot.
+  metrics::Registry& registry() noexcept { return registry_; }
+
+  /// The pipeline event tracer (shared across epochs under a ManagedGroup).
+  trace::Tracer& tracer() noexcept { return *tracer_; }
+  const trace::Tracer& tracer() const noexcept { return *tracer_; }
 
  private:
+  friend class Node;  // send-time oracle access (trace-layer internal)
+
+  trace::SendTimeOracle& send_oracle() noexcept { return oracle_; }
+
   ClusterConfig cfg_;
   std::unique_ptr<sim::Engine> owned_engine_;
   std::unique_ptr<net::Fabric> owned_fabric_;
   sim::Engine* engine_;
   net::Fabric* fabric_;
+  std::unique_ptr<trace::Tracer> owned_tracer_;
+  trace::Tracer* tracer_;
+  trace::SendTimeOracle oracle_;  // always-on latency side channel
+  metrics::Registry registry_;
   sim::Rng rng_;
   std::vector<net::NodeId> members_;
   std::vector<std::unique_ptr<Node>> nodes_;  // indexed by NodeId; null for
                                               // fabric nodes outside members_
   std::vector<SubgroupConfig> subgroup_configs_;
-  // oracle_[sg][sender][msg_index] = send timestamp (-1 for nulls/unset)
-  std::vector<std::vector<std::vector<sim::Nanos>>> oracle_;
   bool started_ = false;
   bool shut_down_ = false;
 };

@@ -24,12 +24,16 @@ void Node::start() {
 /// One subgroup's predicates: receive, null-check, send, delivery (§2.4
 /// with the §3.2/§3.3 modifications). Runs with the node lock held; pure
 /// compute — simulated CPU accumulates in `work`, RDMA writes in `plan`.
+/// Trace events are stamped at `now + work-so-far`, the same convention the
+/// latency histograms use, so spans line up with where the simulated CPU
+/// time is actually charged.
 bool Node::process_subgroup_sync(SubgroupState& s, sim::Nanos& work,
                                  PostPlan& plan) {
   const ProtocolOptions& opts = s.cfg.opts;
   const CpuModel& cpu = cluster_.cpu();
   const auto S = s.num_senders();
   auto& eng = cluster_.engine();
+  trace::Tracer& tr = cluster_.tracer();
   bool acted = false;
 
   // Wedged (view change in progress): the subgroup is completely frozen —
@@ -59,21 +63,27 @@ bool Node::process_subgroup_sync(SubgroupState& s, sim::Nanos& work,
       const std::int64_t k = n;
       ++n;
       ++batch_received;
+      if (!(t.flags & smc::kNullFlag)) {
+        tr.record(id_, trace::Stage::receive, eng.now() + work, 0, s.id,
+                  static_cast<std::uint32_t>(j), k);
+      }
       if (opts.mode == DeliveryMode::unordered && !(t.flags & smc::kNullFlag)) {
         // QoS "unordered": upcall at reception, no stability wait (§4.6).
         work += cpu.upcall_cost + opts.extra_upcall_delay;
         if (opts.memcpy_on_delivery) work += cpu.memcpy_cost(t.len);
-        const Delivery d{s.id, j, -1, k, s.ring->message(j, k, t.len)};
+        Delivery d{s.id, j, -1, k, s.ring->message(j, k, t.len), -1};
+        d.sent_at = cluster_.send_oracle().get(s.id, j, k);
         if (s.delivery_cost_hook) work += s.delivery_cost_hook(d);
+        tr.record(id_, trace::Stage::deliver, eng.now() + work, 0, s.id,
+                  static_cast<std::uint32_t>(j), k);
         if (s.handler) s.handler(d);
         ++counters_.messages_delivered;
         counters_.bytes_delivered += t.len;
         ++delivered_total_;
         ++delivered_per_sg_[s.id];
-        const sim::Nanos sent = cluster_.send_time(s.id, j, k);
-        if (sent >= 0) {
+        if (d.sent_at >= 0) {
           counters_.delivery_latency_ns.add(
-              static_cast<std::uint64_t>(eng.now() + work - sent));
+              static_cast<std::uint64_t>(eng.now() + work - d.sent_at));
         }
       }
       if (!opts.receive_batching) {
@@ -90,6 +100,8 @@ bool Node::process_subgroup_sync(SubgroupState& s, sim::Nanos& work,
   }
   if (batch_received > 0) {
     counters_.receive_batches.add(batch_received);
+    tr.record(id_, trace::Stage::receive_batch, eng.now() + work, 0, s.id,
+              trace::kNoSender, -1, batch_received);
     acted = true;
     recompute_received_num(s);
     if (opts.receive_batching && s.received_num != prior_received_num) {
@@ -126,6 +138,8 @@ bool Node::process_subgroup_sync(SubgroupState& s, sim::Nanos& work,
       work += kPerNullCost * static_cast<sim::Nanos>(sent_nulls);
       counters_.nulls_sent += sent_nulls;
       ++counters_.null_iterations;
+      tr.record(id_, trace::Stage::null_send, eng.now() + work, 0, s.id,
+                static_cast<std::uint32_t>(s.my_sender_idx), -1, sent_nulls);
       acted = true;
     }
   }
@@ -145,7 +159,12 @@ bool Node::process_subgroup_sync(SubgroupState& s, sim::Nanos& work,
         ++app_msgs;
       }
     }
-    if (app_msgs > 0) counters_.send_batches.add(app_msgs);
+    if (app_msgs > 0) {
+      counters_.send_batches.add(app_msgs);
+      tr.record(id_, trace::Stage::send_batch, eng.now() + work, 0, s.id,
+                static_cast<std::uint32_t>(s.my_sender_idx), plan.send_first,
+                app_msgs);
+    }
     s.pushed = s.claimed;  // claimed now so no double-push after unlock
     acted = true;
   }
@@ -175,25 +194,31 @@ bool Node::process_subgroup_sync(SubgroupState& s, sim::Nanos& work,
       if (!(t.flags & smc::kNullFlag)) {
         if (opts.mode == DeliveryMode::atomic) {
           if (opts.memcpy_on_delivery) work += cpu.memcpy_cost(t.len);
-          const Delivery d{s.id, j, seq, k, s.ring->message(j, k, t.len)};
+          Delivery d{s.id, j, seq, k, s.ring->message(j, k, t.len), -1};
+          d.sent_at = cluster_.send_oracle().get(s.id, j, k);
           if (s.delivery_cost_hook) work += s.delivery_cost_hook(d);
           if (opts.persistent) work += enqueue_persist(s, seq, d.data);
           if (batched_upcall) {
             // §3.5 mitigation 1: defer to one upcall for the whole batch;
             // only the marginal per-message cost accrues here.
             s.batch_buffer.push_back(d);
+            tr.record(id_, trace::Stage::deliver, eng.now() + work, 0, s.id,
+                      static_cast<std::uint32_t>(j), k,
+                      static_cast<std::uint64_t>(seq));
           } else {
             work += cpu.upcall_cost + opts.extra_upcall_delay;
+            tr.record(id_, trace::Stage::deliver, eng.now() + work, 0, s.id,
+                      static_cast<std::uint32_t>(j), k,
+                      static_cast<std::uint64_t>(seq));
             if (s.handler) s.handler(d);
           }
           ++counters_.messages_delivered;
           counters_.bytes_delivered += t.len;
           ++delivered_total_;
           ++delivered_per_sg_[s.id];
-          const sim::Nanos sent = cluster_.send_time(s.id, j, k);
-          if (sent >= 0) {
+          if (d.sent_at >= 0) {
             counters_.delivery_latency_ns.add(
-                static_cast<std::uint64_t>(eng.now() + work - sent));
+                static_cast<std::uint64_t>(eng.now() + work - d.sent_at));
           }
         }
         // In unordered mode the upcall already happened at reception; the
@@ -210,6 +235,8 @@ bool Node::process_subgroup_sync(SubgroupState& s, sim::Nanos& work,
     plan.delivered_pushes =
         opts.delivery_batching ? 1 : static_cast<int>(batch_delivered);
     counters_.delivery_batches.add(batch_delivered);
+    tr.record(id_, trace::Stage::delivery_batch, eng.now() + work, 0, s.id,
+              trace::kNoSender, -1, batch_delivered);
     acted = true;
   }
 
@@ -269,6 +296,9 @@ sim::Co<> Node::persist_logger(SubgroupState& s) {
                             ? s.delivered_num
                             : s.persist_queue.front().seq - 1;
     if (s.persisted_local < last_seq) s.persisted_local = last_seq;
+    cluster_.tracer().record(id_, trace::Stage::persist, eng.now(), cost,
+                             s.id, trace::kNoSender, -1,
+                             static_cast<std::uint64_t>(s.persisted_local));
     sst_->write_local_i64(s.f_persisted, s.persisted_local);
     const sim::Nanos post = sst_->push_field(s.f_persisted, s.peer_ranks);
     if (post > 0) co_await eng.sleep(post);
@@ -288,8 +318,12 @@ void Node::force_deliver_through(SubgroupId sg, std::int64_t trim) {
     assert(t.count == k + 1 && "trimmed message must be present locally");
     if (!(t.flags & smc::kNullFlag) &&
         s.cfg.opts.mode == DeliveryMode::atomic) {
-      const Delivery d{s.id, j, seq, k, s.ring->message(j, k, t.len)};
+      const Delivery d{s.id, j, seq, k, s.ring->message(j, k, t.len), -1};
       if (s.cfg.opts.persistent) enqueue_persist(s, seq, d.data);
+      cluster_.tracer().record(id_, trace::Stage::deliver,
+                               cluster_.engine().now(), 0, s.id,
+                               static_cast<std::uint32_t>(j), k,
+                               static_cast<std::uint64_t>(seq));
       if (s.handler) s.handler(d);
       ++counters_.messages_delivered;
       counters_.bytes_delivered += t.len;
@@ -335,6 +369,7 @@ sim::Co<> Node::predicate_loop() {
   auto& eng = cluster_.engine();
   const CpuModel& cpu = cluster_.cpu();
   auto& doorbell = cluster_.fabric().doorbell(id_);
+  trace::Tracer& tr = cluster_.tracer();
 
   int idle_streak = 0;
   PostPlan plan;
@@ -362,11 +397,17 @@ sim::Co<> Node::predicate_loop() {
         continue;
       }
       progress = true;
+      tr.record(id_, trace::Stage::predicate, eng.now(), work, s.id);
       co_await eng.sleep(work + carry);
       carry = 0;
       if (s.cfg.opts.early_lock_release) lock_->unlock();
       const sim::Nanos post = issue_posts(s, plan);
-      if (post > 0) co_await eng.sleep(post);
+      if (post > 0) {
+        tr.record(id_, trace::Stage::rdma_post, eng.now(), post, s.id,
+                  trace::kNoSender, -1,
+                  static_cast<std::uint64_t>(plan.send_last - plan.send_first));
+        co_await eng.sleep(post);
+      }
       if (!s.cfg.opts.early_lock_release) lock_->unlock();
     }
     if (stopped_) break;

@@ -3,10 +3,50 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <stdexcept>
+#include <unordered_set>
 
 #include "core/group.hpp"
 
 namespace spindle::core {
+
+void SubgroupConfig::validate(
+    std::span<const net::NodeId> cluster_members) const {
+  const auto ctx = [this] { return "subgroup \"" + name + "\": "; };
+  if (members.empty()) {
+    throw std::invalid_argument(ctx() + "member list is empty");
+  }
+  if (senders.empty()) {
+    throw std::invalid_argument(ctx() + "sender list is empty");
+  }
+  std::unordered_set<net::NodeId> seen(members.begin(), members.end());
+  if (seen.size() != members.size()) {
+    throw std::invalid_argument(ctx() + "member list contains duplicates");
+  }
+  for (net::NodeId m : members) {
+    if (std::find(cluster_members.begin(), cluster_members.end(), m) ==
+        cluster_members.end()) {
+      throw std::invalid_argument(ctx() + "node " + std::to_string(m) +
+                                  " is not a member of the cluster");
+    }
+  }
+  for (net::NodeId s : senders) {
+    if (!seen.contains(s)) {
+      throw std::invalid_argument(ctx() + "sender " + std::to_string(s) +
+                                  " is not a subgroup member");
+    }
+  }
+  if (opts.window_size == 0) {
+    throw std::invalid_argument(ctx() + "window_size must be >= 1");
+  }
+  if (opts.max_msg_size == 0) {
+    throw std::invalid_argument(ctx() + "max_msg_size must be >= 1");
+  }
+  if (opts.persistent && opts.mode != DeliveryMode::atomic) {
+    throw std::invalid_argument(ctx() +
+                                "persistent mode requires atomic delivery");
+  }
+}
 
 Node::Node(Cluster& cluster, net::NodeId id, sim::Rng rng)
     : cluster_(cluster),
@@ -36,37 +76,47 @@ const SubgroupState* Node::find(SubgroupId sg) const {
   return nullptr;
 }
 
+SubgroupState& Node::require(SubgroupId sg) {
+  SubgroupState* s = find(sg);
+  if (s == nullptr) {
+    throw std::invalid_argument("node " + std::to_string(id_) +
+                                " is not a member of subgroup " +
+                                std::to_string(sg));
+  }
+  return *s;
+}
+
 void Node::init_sst(sst::Layout layout, const std::vector<net::NodeId>& all) {
   sst_ = std::make_unique<sst::Sst>(cluster_.fabric(), id_, all,
                                     std::move(layout));
 }
 
 void Node::set_delivery_handler(SubgroupId sg, DeliveryHandler h) {
-  SubgroupState* s = find(sg);
-  assert(s && "node is not a member of this subgroup");
-  s->handler = std::move(h);
+  require(sg).handler = std::move(h);
 }
 
 void Node::set_batch_delivery_handler(SubgroupId sg, BatchDeliveryHandler h) {
-  SubgroupState* s = find(sg);
-  assert(s && "node is not a member of this subgroup");
-  assert(s->cfg.opts.mode == DeliveryMode::atomic &&
-         "batched upcalls require atomic delivery");
-  s->batch_handler = std::move(h);
+  SubgroupState& s = require(sg);
+  if (s.cfg.opts.mode != DeliveryMode::atomic) {
+    throw std::invalid_argument("subgroup \"" + s.cfg.name +
+                                "\": batched upcalls require atomic delivery");
+  }
+  s.batch_handler = std::move(h);
 }
 
 void Node::set_delivery_cost_hook(
     SubgroupId sg, std::function<sim::Nanos(const Delivery&)> h) {
-  SubgroupState* s = find(sg);
-  assert(s && "node is not a member of this subgroup");
-  s->delivery_cost_hook = std::move(h);
+  require(sg).delivery_cost_hook = std::move(h);
 }
 
 void Node::set_persistence_handler(SubgroupId sg,
                                    std::function<void(std::int64_t)> h) {
-  SubgroupState* s = find(sg);
-  assert(s && s->cfg.opts.persistent && "subgroup is not persistent");
-  s->persist_handler = std::move(h);
+  SubgroupState& s = require(sg);
+  if (!s.cfg.opts.persistent) {
+    throw std::invalid_argument("subgroup \"" + s.cfg.name +
+                                "\" is not persistent");
+  }
+  s.persist_handler = std::move(h);
 }
 
 const std::vector<std::vector<std::byte>>& Node::persistent_log(
@@ -161,13 +211,22 @@ void Node::recompute_received_num(SubgroupState& s) {
 
 sim::Co<> Node::send(SubgroupId sg, std::uint32_t len,
                      std::function<void(std::span<std::byte>)> builder) {
-  SubgroupState* sp = find(sg);
-  assert(sp && sp->is_sender() && "send() requires sender membership");
-  SubgroupState& s = *sp;
-  assert(len <= s.cfg.opts.max_msg_size);
+  SubgroupState& s = require(sg);
+  if (!s.is_sender()) {
+    throw std::invalid_argument("node " + std::to_string(id_) +
+                                " is not a sender of subgroup \"" +
+                                s.cfg.name + "\"");
+  }
+  if (len > s.cfg.opts.max_msg_size) {
+    throw std::invalid_argument(
+        "message of " + std::to_string(len) + " bytes exceeds subgroup \"" +
+        s.cfg.name + "\" max_msg_size " +
+        std::to_string(s.cfg.opts.max_msg_size));
+  }
 
   auto& eng = cluster_.engine();
   const CpuModel& cpu = cluster_.cpu();
+  trace::Tracer& tr = cluster_.tracer();
 
   // Occasional scheduling hiccup (OS delay, §3.3) *before* the claim: a
   // descheduled sender thread is exactly the lagging-sender situation the
@@ -192,6 +251,9 @@ sim::Co<> Node::send(SubgroupId sg, std::uint32_t len,
   counters_.sender_wait += eng.now() - wait_start;
 
   const std::int64_t k = s.claimed;
+  tr.record(id_, trace::Stage::slot_acquire, wait_start,
+            eng.now() - wait_start, sg,
+            static_cast<std::uint32_t>(s.my_sender_idx), k);
   // Generating the message writes `len` bytes into the slot (in-place
   // construction, §3.1); the memcpy_on_send mode (§4.4) pays a second copy
   // from an external buffer.
@@ -202,7 +264,9 @@ sim::Co<> Node::send(SubgroupId sg, std::uint32_t len,
   s.ring->mark_ready(k, len, 0);
   s.is_null[static_cast<std::size_t>(k % s.cfg.opts.window_size)] = 0;
   s.claimed = k + 1;
-  cluster_.record_send_time(sg, s.my_sender_idx, k, eng.now());
+  cluster_.send_oracle().record(sg, s.my_sender_idx, k, eng.now());
+  tr.record(id_, trace::Stage::construct, eng.now(), work, sg,
+            static_cast<std::uint32_t>(s.my_sender_idx), k, len);
   ++counters_.messages_sent;
 
   if (s.cfg.opts.send_batching || s.pushed != k) {
@@ -221,14 +285,21 @@ sim::Co<> Node::send(SubgroupId sg, std::uint32_t len,
   sim::Nanos post = s.ring->push_data(k, k + 1, s.ring_targets);
   post += s.ring->push_trailers(k, k + 1, s.ring_targets);
   counters_.send_batches.add(1);
+  tr.record(id_, trace::Stage::send_batch, eng.now(), 0, sg,
+            static_cast<std::uint32_t>(s.my_sender_idx), k, 1);
+  tr.record(id_, trace::Stage::rdma_post, eng.now(), post, sg,
+            static_cast<std::uint32_t>(s.my_sender_idx), k, 1);
   co_await eng.sleep(post);
   if (!s.cfg.opts.early_lock_release) lock_->unlock();
 }
 
 std::int64_t Node::declare_inactive(SubgroupId sg, std::int64_t rounds) {
-  SubgroupState* sp = find(sg);
-  assert(sp && sp->is_sender());
-  SubgroupState& s = *sp;
+  SubgroupState& s = require(sg);
+  if (!s.is_sender()) {
+    throw std::invalid_argument("node " + std::to_string(id_) +
+                                " is not a sender of subgroup \"" +
+                                s.cfg.name + "\"");
+  }
   // Synchronous claim: safe without awaiting the lock because claims are
   // monotonic and the send predicate flushes whatever is queued. (The app
   // thread owns its sender indices; the polling thread never claims app
@@ -242,6 +313,12 @@ std::int64_t Node::declare_inactive(SubgroupId sg, std::int64_t rounds) {
     ++claimed;
   }
   counters_.nulls_sent += static_cast<std::uint64_t>(claimed);
+  if (claimed > 0) {
+    cluster_.tracer().record(id_, trace::Stage::null_send,
+                             cluster_.engine().now(), 0, sg,
+                             static_cast<std::uint32_t>(s.my_sender_idx), -1,
+                             static_cast<std::uint64_t>(claimed));
+  }
   return claimed;
 }
 

@@ -29,6 +29,9 @@ struct Delivery {
   std::int64_t seq;               // global round-robin sequence (-1 if unordered)
   std::int64_t sender_index;      // per-sender message index (counts nulls)
   std::span<const std::byte> data;  // valid only during the upcall
+  /// Virtual time the sender constructed this message (-1 if unknown, e.g.
+  /// a view-change trim redelivery). Delivery latency = now() - sent_at.
+  sim::Nanos sent_at = -1;
 };
 
 /// Upcall invoked by the predicate thread. Runs on the critical path (§3.5):
@@ -49,6 +52,13 @@ struct SubgroupConfig {
   std::vector<net::NodeId> members;
   std::vector<net::NodeId> senders;  // subset of members, in delivery order
   ProtocolOptions opts;
+
+  /// Throws std::invalid_argument with a descriptive message if the
+  /// configuration is not a valid subgroup of a cluster whose members are
+  /// `cluster_members`: members non-empty and duplicate-free, every member
+  /// in the cluster, senders a non-empty subset of members, window >= 1,
+  /// nonzero message size, persistence only with atomic delivery.
+  void validate(std::span<const net::NodeId> cluster_members) const;
 };
 
 /// Per-node, per-subgroup protocol state. Internal to Node/Cluster.
@@ -232,6 +242,10 @@ class Node {
              delivered_pushes == 0;
     }
   };
+
+  /// find() that throws std::invalid_argument (public-API boundary) when
+  /// this node is not a member of `sg`.
+  SubgroupState& require(SubgroupId sg);
 
   sim::Co<> predicate_loop();
   /// Write-behind SSD logger for a persistent subgroup: drains the persist

@@ -16,6 +16,7 @@ ManagedGroup::ManagedGroup(Config cfg, SubgroupLayout layout)
     : cfg_(cfg),
       layout_(std::move(layout)),
       fabric_(engine_, cfg.timing, cfg.nodes),
+      tracer_(cfg.trace, cfg.nodes),
       rng_(cfg.seed ^ 0x5bd1e995u) {
   if (cfg.nodes == 0 || cfg.nodes > 64) {
     throw std::invalid_argument("ManagedGroup supports 1..64 nodes");
@@ -95,8 +96,9 @@ void ManagedGroup::build_epoch_cluster() {
   cc.timing = cfg_.timing;
   cc.cpu = cfg_.cpu;
   cc.seed = cfg_.seed + view_.epoch + 1;
-  epoch_cluster_ =
-      std::make_unique<Cluster>(engine_, fabric_, cc, view_.members);
+  cc.trace = cfg_.trace;
+  epoch_cluster_ = std::make_unique<Cluster>(engine_, fabric_, cc,
+                                             view_.members, &tracer_);
 
   const auto subgroups = layout_(view_);
   if (subgroups.size() != num_subgroups_) {
@@ -308,6 +310,9 @@ sim::Co<> ManagedGroup::membership_actor(net::NodeId id) {
           post += sst.push(f_trim_.front(), f_prop_failed_, everyone);
           sst.write_local_i64(f_prop_guard_, view_.epoch + 1);
           post += sst.push_field(f_prop_guard_, everyone);
+          tracer_.record(id, trace::Stage::view_trim, engine_.now(), 0,
+                         trace::kNoSubgroup, trace::kNoSender, -1,
+                         view_.epoch + 1);
         }
       }
       // 5. Everyone: acknowledge the current leader's proposal.
@@ -389,6 +394,8 @@ sim::Co<> ManagedGroup::coordinator_actor() {
 void ManagedGroup::wedge_node(net::NodeId id) {
   if (epoch_cluster_ == nullptr || !epoch_cluster_->is_member(id)) return;
   Node& node = epoch_cluster_->node(id);
+  tracer_.record(id, trace::Stage::view_wedge, engine_.now(), 0,
+                 trace::kNoSubgroup, trace::kNoSender, -1, view_.epoch + 1);
   node.wedge_all();
   sst::Sst& sst = *member_sst_[id];
   for (std::size_t g = 0; g < num_subgroups_; ++g) {
@@ -446,6 +453,10 @@ void ManagedGroup::install_next_view(std::uint64_t failed_mask,
     return;
   }
   view_ = std::move(next);
+  for (net::NodeId id : view_.members) {
+    tracer_.record(id, trace::Stage::view_install, engine_.now(), 0,
+                   trace::kNoSubgroup, trace::kNoSender, -1, view_.epoch);
+  }
 
   // Reset per-member view-change state and requeue undelivered messages.
   for (net::NodeId id : view_.members) {

@@ -57,6 +57,7 @@ class ManagedGroup {
     std::uint64_t seed = 1;
     sim::Nanos heartbeat_period = sim::micros(20);
     sim::Nanos failure_timeout = sim::micros(400);
+    trace::TraceConfig trace{};  // one event stream spanning every epoch
   };
 
   ManagedGroup(Config cfg, SubgroupLayout layout);
@@ -77,6 +78,12 @@ class ManagedGroup {
     return view_.epoch;
   }
   Cluster& cluster() { return *epoch_cluster_; }
+
+  /// The group-lifetime pipeline tracer: every epoch cluster records into
+  /// this one stream, and the membership layer adds view_wedge / view_trim /
+  /// view_install phase events, so one export shows the whole history.
+  trace::Tracer& tracer() noexcept { return tracer_; }
+  const trace::Tracer& tracer() const noexcept { return tracer_; }
 
   /// Failure-atomic multicast: the payload is retained by the group and
   /// automatically re-sent in the next view if a reconfiguration discards
@@ -161,6 +168,7 @@ class ManagedGroup {
   SubgroupLayout layout_;
   sim::Engine engine_;
   net::Fabric fabric_;
+  trace::Tracer tracer_;
   sim::Rng rng_;
 
   View view_;

@@ -12,6 +12,12 @@ void FaultInjector::arm() {
 void FaultInjector::fire(const FaultEvent& e) {
   sim::Engine& eng = group_.engine();
   net::Fabric& fab = group_.fabric();
+  // Injection instant in the shared trace stream: arg encodes the kind, and
+  // a link fault targets the peer so both endpoints are identifiable.
+  group_.tracer().record(
+      e.node, trace::Stage::fault, eng.now(), e.duration, trace::kNoSubgroup,
+      e.kind == FaultKind::link_fault ? e.peer : trace::kNoSender, -1,
+      static_cast<std::uint64_t>(e.kind));
   switch (e.kind) {
     case FaultKind::crash:
       group_.crash(e.node);

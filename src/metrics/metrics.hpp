@@ -55,19 +55,29 @@ class Histogram {
 };
 
 /// Simple accumulating summary for real-valued series.
-struct Summary {
-  std::uint64_t count = 0;
-  double sum = 0;
-  double min = std::numeric_limits<double>::infinity();
-  double max = -std::numeric_limits<double>::infinity();
-
+class Summary {
+ public:
   void add(double v) {
-    ++count;
-    sum += v;
-    if (v < min) min = v;
-    if (v > max) max = v;
+    ++count_;
+    sum_ += v;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
   }
-  double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  /// Empty summaries report 0 (matching Histogram::min()/max()), never the
+  /// +-infinity sentinels used internally.
+  double min() const noexcept { return count_ ? min_ : 0; }
+  double max() const noexcept { return count_ ? max_ : 0; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 /// Mean and standard deviation over repeated runs (the paper runs each test

@@ -1,0 +1,50 @@
+#include "metrics/registry.hpp"
+
+#include <algorithm>
+
+namespace spindle::metrics {
+
+const NodeStats* ClusterStats::node(std::uint32_t id) const {
+  for (const NodeStats& n : nodes) {
+    if (n.node == id) return &n;
+  }
+  return nullptr;
+}
+
+const SubgroupStats* ClusterStats::subgroup(std::uint32_t id) const {
+  for (const SubgroupStats& s : subgroups) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+void ClusterStats::finalize() {
+  total = ProtocolCounters{};
+  subgroups.clear();
+  for (const NodeStats& n : nodes) {
+    total.merge(n.counters);
+    for (const SubgroupStats& s : n.subgroups) {
+      auto it = std::find_if(subgroups.begin(), subgroups.end(),
+                             [&](const SubgroupStats& m) { return m.id == s.id; });
+      if (it == subgroups.end()) {
+        subgroups.push_back(SubgroupStats{s.id, s.name, 0, 0});
+        it = subgroups.end() - 1;
+      }
+      it->messages_delivered += s.messages_delivered;
+      it->predicate_cpu += s.predicate_cpu;
+    }
+  }
+  std::sort(subgroups.begin(), subgroups.end(),
+            [](const SubgroupStats& a, const SubgroupStats& b) {
+              return a.id < b.id;
+            });
+}
+
+ClusterStats Registry::snapshot() const {
+  ClusterStats stats;
+  for (const Collector& c : collectors_) c(stats);
+  stats.finalize();
+  return stats;
+}
+
+}  // namespace spindle::metrics

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace spindle::metrics {
+
+/// Per-subgroup slice of a node's (or the cluster's) activity.
+struct SubgroupStats {
+  std::uint32_t id = 0;
+  std::string name;
+  std::uint64_t messages_delivered = 0;
+  sim::Nanos predicate_cpu = 0;
+};
+
+/// One node's consistent counter snapshot: protocol counters with the NIC
+/// statistics and lock-wait totals already folded in, plus the per-subgroup
+/// drill-down.
+struct NodeStats {
+  std::uint32_t node = 0;
+  ProtocolCounters counters;
+  std::vector<SubgroupStats> subgroups;
+};
+
+/// A merged, point-in-time view of a whole cluster — the result of
+/// Cluster::stats(). `total` aggregates every node; `nodes` and `subgroups`
+/// provide the drill-downs.
+struct ClusterStats {
+  ProtocolCounters total;
+  std::vector<NodeStats> nodes;
+  std::vector<SubgroupStats> subgroups;  // merged over nodes, by subgroup id
+
+  const NodeStats* node(std::uint32_t id) const;
+  const SubgroupStats* subgroup(std::uint32_t id) const;
+
+  /// Fold `nodes` into `total` and the merged `subgroups` list. Called by
+  /// Registry::snapshot() after the collectors run.
+  void finalize();
+};
+
+/// Snapshot registry: components register collectors (one per node, plus
+/// anything else that owns counters), and snapshot() runs them all into a
+/// fresh ClusterStats. Collectors only read live state, so a snapshot never
+/// perturbs the run it observes.
+class Registry {
+ public:
+  using Collector = std::function<void(ClusterStats&)>;
+
+  void add_collector(Collector c) { collectors_.push_back(std::move(c)); }
+
+  ClusterStats snapshot() const;
+
+ private:
+  std::vector<Collector> collectors_;
+};
+
+}  // namespace spindle::metrics

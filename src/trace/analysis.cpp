@@ -1,0 +1,103 @@
+#include "trace/analysis.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+
+namespace spindle::trace {
+
+namespace {
+
+/// Key for one application message: (subgroup, sender rank, msg_index).
+std::uint64_t msg_key(const Event& e) {
+  return (static_cast<std::uint64_t>(e.subgroup) << 48) ^
+         (static_cast<std::uint64_t>(e.sender) << 32) ^
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.msg_index));
+}
+
+/// Key for one (message, node) pair.
+std::uint64_t node_msg_key(const Event& e) {
+  return msg_key(e) * 1000003ULL + e.node;
+}
+
+}  // namespace
+
+BatchStats batch_stats(const Tracer& tracer) {
+  BatchStats out;
+  for (std::uint32_t n = 0; n < tracer.nodes(); ++n) {
+    for (const Event& e : tracer.events(n)) {
+      switch (e.stage) {
+        case Stage::send_batch:
+          out.send.add(e.arg);
+          break;
+        case Stage::receive_batch:
+          out.receive.add(e.arg);
+          break;
+        case Stage::delivery_batch:
+          out.delivery.add(e.arg);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+LifecycleReport lifecycle(const Tracer& tracer) {
+  LifecycleReport rep;
+  // First pass: construction time of every traced message (at its sender).
+  std::unordered_map<std::uint64_t, sim::Nanos> constructed;
+  for (std::uint32_t n = 0; n < tracer.nodes(); ++n) {
+    for (const Event& e : tracer.events(n)) {
+      if (e.stage == Stage::construct) constructed[msg_key(e)] = e.t;
+    }
+  }
+  rep.messages = constructed.size();
+
+  // Second pass: receive/deliver legs per (message, node).
+  std::unordered_map<std::uint64_t, sim::Nanos> received;
+  for (std::uint32_t n = 0; n < tracer.nodes(); ++n) {
+    for (const Event& e : tracer.events(n)) {
+      if (e.stage == Stage::receive) {
+        received[node_msg_key(e)] = e.t;
+        const auto c = constructed.find(msg_key(e));
+        if (c != constructed.end() && e.t >= c->second) {
+          rep.construct_to_receive_ns.add(
+              static_cast<std::uint64_t>(e.t - c->second));
+        }
+      } else if (e.stage == Stage::deliver) {
+        const auto r = received.find(node_msg_key(e));
+        if (r != received.end() && e.t >= r->second) {
+          rep.receive_to_deliver_ns.add(
+              static_cast<std::uint64_t>(e.t - r->second));
+        }
+        const auto c = constructed.find(msg_key(e));
+        if (c != constructed.end() && e.t >= c->second) {
+          rep.construct_to_deliver_ns.add(
+              static_cast<std::uint64_t>(e.t - c->second));
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+std::string format(const LifecycleReport& rep) {
+  const auto line = [](const char* name, const metrics::Histogram& h) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  %-22s n=%-8" PRIu64 " mean=%10.0fns  p50=%8" PRIu64
+                  "ns  p99=%8" PRIu64 "ns\n",
+                  name, h.count(), h.mean(), h.median(), h.percentile(99));
+    return std::string(buf);
+  };
+  std::string out = "message lifecycle (" + std::to_string(rep.messages) +
+                    " traced messages):\n";
+  out += line("construct -> receive", rep.construct_to_receive_ns);
+  out += line("receive -> deliver", rep.receive_to_deliver_ns);
+  out += line("construct -> deliver", rep.construct_to_deliver_ns);
+  return out;
+}
+
+}  // namespace spindle::trace

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "metrics/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace spindle::trace {
+
+/// Figure 5/7-style batch statistics derived directly from the raw event
+/// stream (the send_batch / receive_batch / delivery_batch events) instead
+/// of the hand-maintained ProtocolCounters histograms. On a run whose rings
+/// did not wrap, these agree exactly with the counters — that equivalence
+/// is a tier-1 test.
+struct BatchStats {
+  metrics::Histogram send;
+  metrics::Histogram receive;
+  metrics::Histogram delivery;
+};
+BatchStats batch_stats(const Tracer& tracer);
+
+/// Per-message lifecycle decomposition (the §3.5 delivery-delay anatomy):
+/// where virtual time goes between in-place construction at the sender,
+/// reception at each member, and the delivery upcall. One sample per
+/// (message, receiving node) pair for the receive/deliver legs.
+struct LifecycleReport {
+  std::uint64_t messages = 0;  // distinct traced application messages
+  metrics::Histogram construct_to_receive_ns;  // construction -> reception
+  metrics::Histogram receive_to_deliver_ns;    // reception -> delivery upcall
+  metrics::Histogram construct_to_deliver_ns;  // end-to-end delivery delay
+};
+LifecycleReport lifecycle(const Tracer& tracer);
+
+/// Printable summary of a lifecycle report (one line per leg).
+std::string format(const LifecycleReport& report);
+
+}  // namespace spindle::trace

@@ -1,0 +1,92 @@
+#include "trace/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace spindle::trace {
+
+namespace {
+
+/// Nanosecond timestamp as a microsecond decimal, formatted with integer
+/// math so the output is bit-stable across platforms and libc versions.
+void append_us(std::string& out, sim::Nanos ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%03" PRId64, ns / 1000,
+                ns % 1000);
+  out += buf;
+}
+
+void append_event(std::string& out, const Event& e) {
+  out += R"({"name":")";
+  out += to_string(e.stage);
+  out += R"(","cat":"spindle","pid":)";
+  out += std::to_string(e.node);
+  out += R"(,"tid":)";
+  out += std::to_string(static_cast<unsigned>(e.stage));
+  if (e.dur > 0) {
+    out += R"(,"ph":"X","ts":)";
+    append_us(out, e.t);
+    out += R"(,"dur":)";
+    append_us(out, e.dur);
+  } else {
+    out += R"(,"ph":"i","s":"t","ts":)";
+    append_us(out, e.t);
+  }
+  out += R"(,"args":{)";
+  bool first = true;
+  const auto field = [&](const char* key, std::uint64_t v) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += key;
+    out += "\":";
+    out += std::to_string(v);
+  };
+  if (e.subgroup != kNoSubgroup) field("subgroup", e.subgroup);
+  if (e.sender != kNoSender) field("sender", e.sender);
+  if (e.msg_index >= 0) {
+    field("msg_index", static_cast<std::uint64_t>(e.msg_index));
+  }
+  field("arg", e.arg);
+  out += "}}";
+}
+
+}  // namespace
+
+std::string to_chrome_json(const Tracer& tracer) {
+  std::string out;
+  out += R"({"displayTimeUnit":"ns","traceEvents":[)";
+  out += '\n';
+  bool first = true;
+  // Metadata: name the per-node processes and the per-stage tracks.
+  for (std::uint32_t n = 0; n < tracer.nodes(); ++n) {
+    if (!first) out += ",\n";
+    first = false;
+    out += R"({"name":"process_name","ph":"M","pid":)" + std::to_string(n) +
+           R"(,"args":{"name":"node )" + std::to_string(n) + R"("}})";
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      out += ",\n";
+      out += R"({"name":"thread_name","ph":"M","pid":)" + std::to_string(n) +
+             R"(,"tid":)" + std::to_string(s) + R"(,"args":{"name":")" +
+             to_string(static_cast<Stage>(s)) + R"("}})";
+    }
+  }
+  for (const Event& e : tracer.all_events()) {
+    if (!first) out += ",\n";
+    first = false;
+    append_event(out, e);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_json(const Tracer& tracer, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  const std::string json = to_chrome_json(tracer);
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace spindle::trace

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace spindle::trace {
+
+/// Render the trace as Chrome trace-event JSON (the format Perfetto and
+/// chrome://tracing load directly). Layout: one process per node, one
+/// thread track per pipeline stage, so send / receive / delivery activity
+/// lines up visually per node. Output is a pure function of the recorded
+/// events — two identical runs export byte-identical JSON.
+std::string to_chrome_json(const Tracer& tracer);
+
+/// Write to_chrome_json() to `path`. Returns false (and writes nothing) if
+/// the file cannot be opened.
+bool write_chrome_json(const Tracer& tracer, const std::string& path);
+
+}  // namespace spindle::trace

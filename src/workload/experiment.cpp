@@ -1,7 +1,10 @@
 #include "workload/experiment.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "trace/export.hpp"
 
 namespace spindle::workload {
 
@@ -53,6 +56,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   cc.timing = cfg.timing;
   cc.cpu = cfg.cpu;
   cc.seed = cfg.seed;
+  cc.trace = cfg.trace;
+  if (!cfg.trace_out.empty()) cc.trace.enabled = true;
   core::Cluster cluster(cc);
 
   std::vector<net::NodeId> all(cfg.nodes);
@@ -107,14 +112,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     const core::SubgroupId sg = sgs[g];
     for (net::NodeId m : all) {
       cluster.node(m).set_delivery_handler(
-          sg, [&tracked_delivered, &res, &cluster, &cfg,
-               sg](const core::Delivery& d) {
+          sg, [&tracked_delivered, &res, &cluster,
+               &cfg](const core::Delivery& d) {
             if (d.sender >= cfg.delayed_senders) ++tracked_delivered;
-            const sim::Nanos sent =
-                cluster.send_time(sg, d.sender, d.sender_index);
-            if (sent >= 0) {
+            if (d.sent_at >= 0) {
               const auto lat = static_cast<std::uint64_t>(
-                  cluster.engine().now() - sent);
+                  cluster.engine().now() - d.sent_at);
               if (d.sender < cfg.delayed_senders) {
                 res.delayed_sender_latency_ns.add(lat);
               } else {
@@ -129,23 +132,37 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       [&] { return tracked_delivered >= expected; }, cfg.max_virtual);
   res.makespan = cluster.engine().now();
 
-  res.totals = cluster.totals();
+  res.stats = cluster.stats();
+  const metrics::ProtocolCounters& totals = res.stats.total;
   const double secs = sim::to_seconds(res.makespan);
   if (secs > 0) {
-    res.throughput_gbps = static_cast<double>(res.totals.bytes_delivered) /
+    res.throughput_gbps = static_cast<double>(totals.bytes_delivered) /
                           static_cast<double>(cfg.nodes) / secs / 1e9;
     res.delivery_rate_per_node =
-        static_cast<double>(res.totals.messages_delivered) /
+        static_cast<double>(totals.messages_delivered) /
         static_cast<double>(cfg.nodes) / secs;
   }
   res.median_latency_us =
-      static_cast<double>(res.totals.delivery_latency_ns.median()) / 1e3;
-  res.mean_latency_us = res.totals.delivery_latency_ns.mean() / 1e3;
+      static_cast<double>(totals.delivery_latency_ns.median()) / 1e3;
+  res.mean_latency_us = totals.delivery_latency_ns.mean() / 1e3;
   res.p99_latency_us =
-      static_cast<double>(res.totals.delivery_latency_ns.percentile(99)) / 1e3;
+      static_cast<double>(totals.delivery_latency_ns.percentile(99)) / 1e3;
+
+  res.trace_events = cluster.tracer().total_recorded();
+  if (cfg.trace_sink) cfg.trace_sink(cluster.tracer());
+  if (!cfg.trace_out.empty()) {
+    if (trace::write_chrome_json(cluster.tracer(), cfg.trace_out)) {
+      std::fprintf(stderr, "trace: wrote %llu events to %s\n",
+                   static_cast<unsigned long long>(res.trace_events),
+                   cfg.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace: FAILED to write %s\n",
+                   cfg.trace_out.c_str());
+    }
+  }
 
   sim::Nanos active_cpu = 0;
-  sim::Nanos total_cpu = res.totals.predicate_cpu;
+  sim::Nanos total_cpu = totals.predicate_cpu;
   for (std::size_t g = 0; g < cfg.active_subgroups && g < cfg.subgroups;
        ++g) {
     for (net::NodeId m : all) {

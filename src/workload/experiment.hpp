@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/group.hpp"
 #include "metrics/metrics.hpp"
+#include "metrics/registry.hpp"
+#include "trace/trace.hpp"
 
 namespace spindle::workload {
 
@@ -35,6 +38,15 @@ struct ExperimentConfig {
   net::TimingModel timing{};
   core::CpuModel cpu{};
   sim::Nanos max_virtual = sim::seconds(600);  // stall watchdog
+
+  /// Pipeline tracing (off by default; enabling it must not perturb virtual
+  /// time). When `trace_out` is non-empty, tracing is forced on and a
+  /// Chrome/Perfetto JSON dump is written there after the run.
+  trace::TraceConfig trace{};
+  std::string trace_out;
+  /// Called with the run's tracer after completion (before teardown), e.g.
+  /// to feed the trace::analysis helpers.
+  std::function<void(const trace::Tracer&)> trace_sink;
 };
 
 struct ExperimentResult {
@@ -47,7 +59,11 @@ struct ExperimentResult {
   double median_latency_us = 0;
   double mean_latency_us = 0;
   double p99_latency_us = 0;
-  metrics::ProtocolCounters totals;
+  /// Observability snapshot taken at completion: stats.total for merged
+  /// counters, stats.nodes / stats.subgroups for the drill-down.
+  metrics::ClusterStats stats;
+  /// Pipeline events recorded (0 unless cfg.trace.enabled / trace_out).
+  std::uint64_t trace_events = 0;
   /// Fraction of predicate-thread CPU spent in active subgroups (§4.1.3).
   double active_predicate_fraction = 0;
   std::uint64_t expected_deliveries = 0;

@@ -175,9 +175,9 @@ TEST(Multicast, ExperimentHarnessCompletesSmallRun) {
   cfg.opts = ProtocolOptions::spindle();
   auto res = workload::run_experiment(cfg);
   ASSERT_TRUE(res.completed);
-  EXPECT_EQ(res.totals.messages_delivered, 4u * 4u * 100u);
+  EXPECT_EQ(res.stats.total.messages_delivered, 4u * 4u * 100u);
   EXPECT_GT(res.throughput_gbps, 0.0);
-  EXPECT_GT(res.totals.rdma_writes_posted, 0u);
+  EXPECT_GT(res.stats.total.rdma_writes_posted, 0u);
   EXPECT_GT(res.median_latency_us, 0.0);
 }
 
@@ -191,8 +191,8 @@ TEST(Multicast, DeterministicForSameSeed) {
   auto b = workload::run_experiment(cfg);
   ASSERT_TRUE(a.completed);
   EXPECT_EQ(a.makespan, b.makespan);
-  EXPECT_EQ(a.totals.rdma_writes_posted, b.totals.rdma_writes_posted);
-  EXPECT_EQ(a.totals.nulls_sent, b.totals.nulls_sent);
+  EXPECT_EQ(a.stats.total.rdma_writes_posted, b.stats.total.rdma_writes_posted);
+  EXPECT_EQ(a.stats.total.nulls_sent, b.stats.total.nulls_sent);
 }
 
 TEST(Multicast, SilentSenderDoesNotStallDelivery) {
@@ -208,7 +208,7 @@ TEST(Multicast, SilentSenderDoesNotStallDelivery) {
   cfg.opts = ProtocolOptions::spindle();
   auto res = workload::run_experiment(cfg);
   ASSERT_TRUE(res.completed);
-  EXPECT_GT(res.totals.nulls_sent, 0u);
+  EXPECT_GT(res.stats.total.nulls_sent, 0u);
 }
 
 TEST(Multicast, QuiescenceNoNullsWhenNobodySends) {
@@ -220,7 +220,7 @@ TEST(Multicast, QuiescenceNoNullsWhenNobodySends) {
       {"quiet", {0, 1, 2}, {0, 1, 2}, ProtocolOptions::spindle()});
   cluster.start();
   cluster.engine().run_to(sim::millis(5));
-  auto totals = cluster.totals();
+  const auto totals = cluster.stats().total;
   EXPECT_EQ(totals.nulls_sent, 0u);
   EXPECT_EQ(totals.messages_delivered, 0u);
   (void)sg;

@@ -24,7 +24,7 @@ TEST(Workload, HalfSendersDeliverExpectedCount) {
   cfg.message_size = 256;
   auto r = run_experiment(cfg);
   ASSERT_TRUE(r.completed);
-  EXPECT_EQ(r.totals.messages_delivered, 2u * 50u * 4u);
+  EXPECT_EQ(r.stats.total.messages_delivered, 2u * 50u * 4u);
   EXPECT_EQ(r.expected_deliveries, 2u * 50u * 4u);
 }
 
@@ -37,7 +37,7 @@ TEST(Workload, InactiveSubgroupsCarryNoTraffic) {
   cfg.message_size = 256;
   auto r = run_experiment(cfg);
   ASSERT_TRUE(r.completed);
-  EXPECT_EQ(r.totals.messages_delivered, 3u * 40u * 3u);
+  EXPECT_EQ(r.stats.total.messages_delivered, 3u * 40u * 3u);
   EXPECT_GT(r.active_predicate_fraction, 0.2);
   EXPECT_LE(r.active_predicate_fraction, 1.0);
 }
@@ -51,7 +51,7 @@ TEST(Workload, MultipleActiveSubgroupsMultiplyTraffic) {
   cfg.message_size = 256;
   auto r = run_experiment(cfg);
   ASSERT_TRUE(r.completed);
-  EXPECT_EQ(r.totals.messages_delivered, 2u * 3u * 30u * 3u);
+  EXPECT_EQ(r.stats.total.messages_delivered, 2u * 3u * 30u * 3u);
 }
 
 TEST(Workload, DelayedForeverSendersAreExcludedFromTarget) {
@@ -87,7 +87,7 @@ TEST(Workload, UnorderedModeDeliversEverythingToo) {
   cfg.opts.mode = core::DeliveryMode::unordered;
   auto r = run_experiment(cfg);
   ASSERT_TRUE(r.completed);
-  EXPECT_EQ(r.totals.messages_delivered, 3u * 50u * 3u);
+  EXPECT_EQ(r.stats.total.messages_delivered, 3u * 50u * 3u);
 }
 
 TEST(Workload, WatchdogReportsIncompleteRuns) {
