@@ -6,8 +6,10 @@
 // Message counts are scaled down from the paper's 1M per sender; set
 // SPINDLE_BENCH_SCALE to raise or lower them.
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "workload/experiment.hpp"
@@ -44,5 +46,118 @@ inline std::string gbps(double v) { return Table::num(v, 2); }
 inline std::string check_completed(const ExperimentResult& r) {
   return r.completed ? "" : " [INCOMPLETE: watchdog tripped]";
 }
+
+/// Machine-readable bench output: accumulates per-configuration rows plus
+/// free-form scalar metrics and writes them to BENCH_<name>.json in the
+/// working directory. CI jobs diff these files across commits to track the
+/// simulator's wall-clock trajectory (events/sec, sweep times) alongside
+/// the simulated-protocol numbers the tables print.
+///
+/// Shape:
+///   { "bench": "<name>", "scale": <SPINDLE_BENCH_SCALE>,
+///     "runs": [ { "label": "...", "events_per_sec": ..., "wall_seconds":
+///                 ..., "makespan_ns": ..., "msgs_delivered": ...,
+///                 "engine_steps": ..., "throughput_gbps": ... }, ... ],
+///     "metrics": { "<key>": <number>, ... } }
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Record one experiment under `label`. events/sec is engine events
+  /// dispatched per wall second — the simulator-speed headline number.
+  void add_run(const std::string& label, const ExperimentResult& r) {
+    Run run;
+    run.label = label;
+    run.engine_steps = r.engine_steps;
+    run.wall_seconds = r.wall_seconds;
+    run.makespan_ns = static_cast<std::uint64_t>(r.makespan);
+    run.msgs_delivered = r.stats.total.messages_delivered;
+    run.throughput_gbps = r.throughput_gbps;
+    runs_.push_back(std::move(run));
+  }
+
+  /// Record an averaged sweep: engine_steps/wall_seconds are summed over
+  /// the sweep's runs, protocol metrics come from the last run.
+  void add_run(const std::string& label, const workload::Averaged& a) {
+    Run run;
+    run.label = label;
+    run.engine_steps = a.engine_steps;
+    run.wall_seconds = a.wall_seconds;
+    run.makespan_ns = static_cast<std::uint64_t>(a.last.makespan);
+    run.msgs_delivered = a.last.stats.total.messages_delivered;
+    run.throughput_gbps = a.mean_gbps;
+    runs_.push_back(std::move(run));
+  }
+
+  /// Free-form scalar (e.g. a speedup ratio or an ops/sec measurement that
+  /// does not come from an ExperimentResult).
+  void add_metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Write BENCH_<name>.json. Returns false (and warns on stderr) on I/O
+  /// failure; benches keep their exit status independent of report I/O.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": %.6g,\n",
+                 escape(name_).c_str(), workload::bench_scale());
+    std::fprintf(f, "  \"runs\": [");
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      const Run& r = runs_[i];
+      const double eps =
+          r.wall_seconds > 0
+              ? static_cast<double>(r.engine_steps) / r.wall_seconds
+              : 0;
+      std::fprintf(f,
+                   "%s\n    { \"label\": \"%s\", \"events_per_sec\": %.6g, "
+                   "\"wall_seconds\": %.6g, \"makespan_ns\": %llu, "
+                   "\"msgs_delivered\": %llu, \"engine_steps\": %llu, "
+                   "\"throughput_gbps\": %.6g }",
+                   i ? "," : "", escape(r.label).c_str(), eps, r.wall_seconds,
+                   static_cast<unsigned long long>(r.makespan_ns),
+                   static_cast<unsigned long long>(r.msgs_delivered),
+                   static_cast<unsigned long long>(r.engine_steps),
+                   r.throughput_gbps);
+    }
+    std::fprintf(f, "\n  ],\n  \"metrics\": {");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.6g", i ? "," : "",
+                   escape(metrics_[i].first).c_str(), metrics_[i].second);
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("bench report: %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Run {
+    std::string label;
+    std::uint64_t engine_steps = 0;
+    double wall_seconds = 0;
+    std::uint64_t makespan_ns = 0;
+    std::uint64_t msgs_delivered = 0;
+    double throughput_gbps = 0;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Run> runs_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace spindle::bench

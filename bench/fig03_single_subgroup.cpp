@@ -26,6 +26,7 @@ int main() {
   ExperimentResult batch16;
   metrics::ProtocolCounters base16;
   sim::Nanos base16_makespan = 0;
+  BenchReport report("fig03_single_subgroup");
 
   for (auto pattern : {SenderPattern::all, SenderPattern::half,
                        SenderPattern::one}) {
@@ -38,13 +39,17 @@ int main() {
       // Keep counts above ~3 windows so the sender-wait statistic reflects
       // the steady state (the ring must actually fill).
       cfg.opts = core::ProtocolOptions::baseline();
-      cfg.messages_per_sender = std::max<std::size_t>(scaled(200), 300);
+      cfg.messages_per_sender = std::max<std::size_t>(scaled(800), 300);
       auto base = workload::run_averaged(cfg, 2);
 
       cfg.opts = batching;
-      cfg.messages_per_sender = std::max<std::size_t>(scaled(500), 300);
+      cfg.messages_per_sender = std::max<std::size_t>(scaled(2000), 300);
       auto opt = workload::run_averaged(cfg, 2);
 
+      const std::string label =
+          std::string(pattern_name(pattern)) + "/" + std::to_string(n);
+      report.add_run(label + "/baseline", base);
+      report.add_run(label + "/batching", opt);
       t.row({pattern_name(pattern), Table::integer(n),
              gbps(base.mean_gbps) + "+-" + gbps(base.stddev_gbps),
              gbps(opt.mean_gbps) + "+-" + gbps(opt.stddev_gbps),
@@ -59,6 +64,7 @@ int main() {
     ++pi;
   }
   t.print();
+  report.write();
 
   // §4.1.1 insight counters, 16 senders. The paper's absolute counts are
   // for 1M messages/sender; we report per-message and fractional values.

@@ -56,6 +56,7 @@ int main() {
 
   Table t("Figure 5: incremental batching stages (all senders, 10KB)",
           {"nodes", "stage", "GB/s", "median latency (us)", "paper"});
+  BenchReport report("fig05_batching_stages");
   for (std::size_t n : node_sweep()) {
     for (const Stage& st : stages) {
       ExperimentConfig cfg;
@@ -66,14 +67,16 @@ int main() {
       cfg.opts.delivery_batching = st.d;
       cfg.opts.receive_batching = st.r;
       cfg.opts.send_batching = st.s;
-      cfg.messages_per_sender = scaled(st.r ? 500 : 200);
+      cfg.messages_per_sender = scaled(st.r ? 2000 : 800);
       auto r = workload::run_averaged(cfg, 2);
+      report.add_run(std::to_string(n) + "/" + st.name, r);
       t.row({Table::integer(n), st.name, gbps(r.mean_gbps),
              Table::num(r.mean_median_latency_us, 1),
              (n == 16 && st.s) ? "both metrics improve each stage" : ""});
     }
   }
   t.print();
+  report.write();
   if (const char* out = std::getenv("SPINDLE_TRACE_OUT")) dump_trace(out);
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "workload/recovery.hpp"
 #include "workload/table.hpp"
 
@@ -21,9 +22,19 @@ std::string us(spindle::sim::Nanos ns) {
   return Table::num(static_cast<double>(ns) / 1000.0, 1);
 }
 
+void record(spindle::bench::BenchReport& report, const std::string& label,
+            const RecoveryResult& r) {
+  report.add_metric(label + "/detect_us",
+                    static_cast<double>(r.detect_ns) / 1e3);
+  report.add_metric(label + "/install_us",
+                    static_cast<double>(r.install_ns) / 1e3);
+  report.add_metric(label + "/post_mmps", r.post_mmps);
+}
+
 }  // namespace
 
 int main() {
+  spindle::bench::BenchReport report("recovery_fault");
   {
     Table t("Recovery vs. failure timeout (4 nodes, follower crash)",
             {"timeout_us", "detect_us", "install_us", "first_delv_us",
@@ -35,6 +46,7 @@ int main() {
       RecoveryConfig cfg;
       cfg.failure_timeout = timeout;
       const RecoveryResult r = run_recovery(cfg);
+      record(report, "timeout_us_" + us(timeout), r);
       t.row({us(timeout), us(r.detect_ns), us(r.install_ns),
              us(r.first_delivery_ns), us(r.max_gap_ns),
              Table::num(r.pre_mmps, 2), Table::num(r.post_mmps, 2)});
@@ -51,6 +63,7 @@ int main() {
       cfg.nodes = nodes;
       cfg.victim = static_cast<spindle::net::NodeId>(nodes - 1);
       const RecoveryResult r = run_recovery(cfg);
+      record(report, "nodes_" + std::to_string(nodes), r);
       t.row({Table::integer(nodes), us(r.detect_ns), us(r.install_ns),
              us(r.first_delivery_ns), us(r.max_gap_ns),
              Table::num(r.pre_mmps, 2), Table::num(r.post_mmps, 2)});
@@ -66,11 +79,14 @@ int main() {
       RecoveryConfig cfg;
       cfg.victim = victim;
       const RecoveryResult r = run_recovery(cfg);
+      record(report, victim == 0 ? "leader" : "node" + std::to_string(victim),
+             r);
       t.row({victim == 0 ? "leader" : "node" + std::to_string(victim),
              us(r.detect_ns), us(r.install_ns), us(r.first_delivery_ns),
              us(r.max_gap_ns), Table::num(r.post_mmps, 2)});
     }
     t.print();
   }
+  report.write();
   return 0;
 }

@@ -85,31 +85,43 @@ sim::Nanos Fabric::post_write(NodeId src_node, RegionId dst,
   // Snapshot the payload now (DMA reads source memory at transmission; the
   // SST push discipline guarantees the source is not mutated in a way that
   // violates monotonicity, but we snapshot for strict post-time semantics).
-  std::vector<std::byte> payload(src.begin(), src.end());
+  // Buffers are pooled, so this is a memcpy, not an allocation.
+  std::vector<std::byte>* payload = acquire_payload(src);
 
   if (egress_paused_[src_node]) {
     // NIC stall (fault injection): the verb is posted and the CPU cost is
     // paid, but the send queue backs up until resume_egress().
-    egress_queue_[src_node].push_back(
-        QueuedWrite{dst, dst_offset, std::move(payload)});
+    egress_queue_[src_node].push_back(QueuedWrite{dst, dst_offset, payload});
     return cost;
   }
 
   // The verb reaches the NIC when the CPU finishes posting it.
-  transmit(src_node, dst, dst_offset, std::move(payload), now + cost);
+  transmit(src_node, dst, dst_offset, payload, now + cost);
   return cost;
 }
 
+std::vector<std::byte>* Fabric::acquire_payload(
+    std::span<const std::byte> src) {
+  if (payload_free_.empty()) {
+    payload_store_.emplace_back();
+    payload_free_.push_back(&payload_store_.back());
+  }
+  std::vector<std::byte>* p = payload_free_.back();
+  payload_free_.pop_back();
+  p->assign(src.begin(), src.end());
+  return p;
+}
+
 void Fabric::transmit(NodeId src_node, RegionId dst, std::size_t dst_offset,
-                      std::vector<std::byte> payload, sim::Nanos ready) {
+                      std::vector<std::byte>* payload, sim::Nanos ready) {
   Region& region = regions_[dst.index];
   const NodeId dst_node = region.node;
-  const sim::Nanos occ = timing_.occupancy(payload.size());
+  const sim::Nanos occ = timing_.occupancy(payload->size());
 
   // Link-fault shaping (fault injection): scaled latency plus jitter. The
   // per-QP FIFO clamp below keeps writes ordered regardless of the draw.
   const LinkFault& lf = link_faults_[src_node * n_ + dst_node];
-  sim::Nanos adder = timing_.latency_adder(payload.size());
+  sim::Nanos adder = timing_.latency_adder(payload->size());
   if (lf.latency_mult != 1.0) {
     adder = static_cast<sim::Nanos>(static_cast<double>(adder) *
                                     lf.latency_mult);
@@ -148,12 +160,16 @@ void Fabric::transmit(NodeId src_node, RegionId dst, std::size_t dst_offset,
   fifo = delivery;
 
   engine_.schedule_fn(
-      delivery, [this, dst, dst_offset, dst_node,
-                 data = std::move(payload)]() mutable {
-        if (isolated_[dst_node]) return;  // died while in flight
+      delivery, [this, dst, dst_offset, dst_node, payload] {
+        if (isolated_[dst_node]) {  // died while in flight
+          release_payload(payload);
+          return;
+        }
         const Region& r = regions_[dst.index];
-        std::memcpy(r.mem.data() + dst_offset, data.data(), data.size());
+        std::memcpy(r.mem.data() + dst_offset, payload->data(),
+                    payload->size());
         ++stats_[dst_node].writes_delivered;
+        release_payload(payload);
         doorbells_[dst_node]->signal();
       });
 }
@@ -161,7 +177,9 @@ void Fabric::transmit(NodeId src_node, RegionId dst, std::size_t dst_offset,
 void Fabric::isolate(NodeId node) {
   assert(node < n_);
   isolated_[node] = 1;
-  egress_queue_[node].clear();  // a dead NIC's send queue is gone
+  // A dead NIC's send queue is gone; recycle the stalled payloads.
+  for (QueuedWrite& w : egress_queue_[node]) release_payload(w.payload);
+  egress_queue_[node].clear();
 }
 
 void Fabric::pause_egress(NodeId node) {
@@ -175,11 +193,17 @@ void Fabric::resume_egress(NodeId node) {
   egress_paused_[node] = 0;
   auto queued = std::move(egress_queue_[node]);
   egress_queue_[node].clear();
-  if (isolated_[node]) return;  // crashed while stalled: queue lost
+  if (isolated_[node]) {  // crashed while stalled: queue lost
+    for (QueuedWrite& w : queued) release_payload(w.payload);
+    return;
+  }
   const sim::Nanos now = engine_.now();
   for (auto& w : queued) {
-    if (isolated_[regions_[w.dst.index].node]) continue;
-    transmit(node, w.dst, w.dst_offset, std::move(w.payload), now);
+    if (isolated_[regions_[w.dst.index].node]) {
+      release_payload(w.payload);
+      continue;
+    }
+    transmit(node, w.dst, w.dst_offset, w.payload, now);
   }
 }
 

@@ -127,14 +127,24 @@ class Fabric {
   struct QueuedWrite {
     RegionId dst;
     std::size_t dst_offset;
-    std::vector<std::byte> payload;
+    std::vector<std::byte>* payload;  // pool-owned
   };
+
+  /// In-flight payload snapshots are pooled: a delivery returns its buffer
+  /// for reuse, so steady-state traffic allocates nothing per write. The
+  /// pool owns every buffer (deque keeps addresses stable); an event that
+  /// never runs merely strands its buffer until the Fabric dies — no leak.
+  std::vector<std::byte>* acquire_payload(std::span<const std::byte> src);
+  void release_payload(std::vector<std::byte>* p) noexcept {
+    p->clear();
+    payload_free_.push_back(p);
+  }
 
   /// Wire model shared by post_write and resume_egress: serialize at the
   /// sender's port from `ready`, apply link latency (plus any injected
   /// fault), clamp to per-QP FIFO, and schedule the landing.
   void transmit(NodeId src_node, RegionId dst, std::size_t dst_offset,
-                std::vector<std::byte> payload, sim::Nanos ready);
+                std::vector<std::byte>* payload, sim::Nanos ready);
 
   sim::Engine& engine_;
   TimingModel timing_;
@@ -158,6 +168,10 @@ class Fabric {
   std::vector<std::deque<QueuedWrite>> egress_queue_;
   std::vector<LinkFault> link_faults_;  // src * n_ + dst
   sim::Rng fault_rng_{0xfab51c};
+
+  // Payload snapshot pool (see acquire_payload).
+  std::deque<std::vector<std::byte>> payload_store_;
+  std::vector<std::vector<std::byte>*> payload_free_;
 };
 
 }  // namespace spindle::net

@@ -1,21 +1,9 @@
 #include "sim/engine.hpp"
 
-#include <cassert>
 #include <cstdio>
 #include <sstream>
-#include <utility>
 
 namespace spindle::sim {
-
-void Engine::schedule_handle(Nanos at, std::coroutine_handle<> h) {
-  assert(at >= now_ && "cannot schedule into the past");
-  queue_.push(Event{at, seq_++, h, nullptr});
-}
-
-void Engine::schedule_fn(Nanos at, std::function<void()> fn) {
-  assert(at >= now_ && "cannot schedule into the past");
-  queue_.push(Event{at, seq_++, nullptr, std::move(fn)});
-}
 
 namespace {
 DetachedTask run_detached(Co<> actor) { co_await std::move(actor); }
@@ -24,26 +12,6 @@ DetachedTask run_detached(Co<> actor) { co_await std::move(actor); }
 void Engine::spawn(Co<> actor) {
   auto task = run_detached(std::move(actor));
   schedule_handle(now_, task.handle);
-}
-
-void Engine::dispatch(Event& ev) {
-  now_ = ev.at;
-  ++steps_;
-  if (ev.handle) {
-    ev.handle.resume();
-  } else {
-    ev.fn();
-  }
-}
-
-bool Engine::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; the event is moved out via const_cast,
-  // which is safe because we pop immediately and never re-inspect it.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  dispatch(ev);
-  return true;
 }
 
 void Engine::run() {
@@ -79,18 +47,26 @@ bool Engine::run_until(const std::function<bool()>& stop_condition,
 std::string Engine::diagnostics() const {
   std::ostringstream os;
   os << "engine: t=" << now_ << "ns steps=" << steps_
-     << " pending_events=" << queue_.size();
-  if (!queue_.empty()) os << " next_event_at=" << queue_.top().at << "ns";
-  os << "\n";
+     << " pending_events=" << wheel_.live();
+  Nanos next = 0;
+  if (wheel_.peek_at(&next)) os << " next_event_at=" << next << "ns";
+  const TimerWheel::Occupancy occ = wheel_.occupancy();
+  os << "\nscheduler: immediate=" << occ.immediate << " ready=" << occ.ready
+     << " wheel=" << occ.wheel << " overflow=" << occ.overflow << " window=["
+     << occ.window_base << ".." << occ.window_end << ")ns\n";
   if (diagnostics_provider_) os << diagnostics_provider_();
   return os.str();
 }
 
 void Engine::run_to(Nanos t) {
-  while (!queue_.empty() && queue_.top().at <= t) {
-    step();
+  Nanos next = 0;
+  while (wheel_.peek_at(&next) && next <= t) {
+    if (!step()) break;  // only dead (cancelled) nodes remained
   }
-  if (now_ < t) now_ = t;
+  if (now_ < t) {
+    now_ = t;
+    wheel_.sync_now(t);
+  }
 }
 
 }  // namespace spindle::sim

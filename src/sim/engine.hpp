@@ -1,12 +1,15 @@
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <new>
 #include <string>
-#include <vector>
+#include <type_traits>
+#include <utility>
 
+#include "sim/sched.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -20,8 +23,23 @@ namespace spindle::sim {
 /// `co_await engine.sleep(d)`. Two events at the same timestamp run in
 /// insertion order (stable FIFO), which the simulated mutex and the NIC
 /// FIFO guarantees rely on.
+///
+/// The event queue is a hierarchical timer wheel with an overflow tier
+/// (sim/sched.hpp); scheduling is O(1) in the common cases and never
+/// heap-allocates: events are pooled nodes and callables small enough for
+/// the node's inline storage (64 bytes — every callable in the repo) are
+/// stored in place instead of behind a std::function.
 class Engine {
  public:
+  /// Handle to a scheduled event, usable with cancel(). Validated by
+  /// sequence number, so a stale id (event already fired, cancelled, or
+  /// node recycled) is safely rejected.
+  struct TimerId {
+    EventNode* node = nullptr;
+    std::uint64_t seq = EventNode::kFreeSeq;
+    bool valid() const noexcept { return node != nullptr; }
+  };
+
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -30,12 +48,67 @@ class Engine {
   std::uint64_t steps() const noexcept { return steps_; }
 
   /// Schedule a raw coroutine resume at absolute virtual time `at`.
-  void schedule_handle(Nanos at, std::coroutine_handle<> h);
+  TimerId schedule_handle(Nanos at, std::coroutine_handle<> h) {
+    assert(at >= now_ && "cannot schedule into the past");
+    EventNode* n = wheel_.acquire();
+    ::new (static_cast<void*>(n->storage)) std::coroutine_handle<>(h);
+    n->invoke = [](EventNode* e) {
+      (*std::launder(reinterpret_cast<std::coroutine_handle<>*>(e->storage)))
+          .resume();
+    };
+    n->drop = nullptr;  // coroutine frames are not owned by the engine
+    wheel_.insert(at, n);
+    return TimerId{n, n->seq};
+  }
 
-  /// Schedule a callback at absolute virtual time `at`.
-  void schedule_fn(Nanos at, std::function<void()> fn);
+  /// Schedule any callable at absolute virtual time `at`. Callables up to
+  /// EventNode::kInlineBytes are stored inline (no allocation); larger ones
+  /// are boxed on the heap.
+  template <typename F>
+  TimerId schedule_fn(Nanos at, F&& fn) {
+    assert(at >= now_ && "cannot schedule into the past");
+    using Fn = std::decay_t<F>;
+    EventNode* n = wheel_.acquire();
+    if constexpr (sizeof(Fn) <= EventNode::kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(n->storage)) Fn(std::forward<F>(fn));
+      n->invoke = [](EventNode* e) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(e->storage));
+        struct Destroy {
+          Fn* f;
+          ~Destroy() { f->~Fn(); }
+        } d{f};
+        (*f)();
+      };
+      n->drop = [](EventNode* e) {
+        std::launder(reinterpret_cast<Fn*>(e->storage))->~Fn();
+      };
+    } else {
+      ::new (static_cast<void*>(n->storage)) Fn*(new Fn(std::forward<F>(fn)));
+      n->invoke = [](EventNode* e) {
+        Fn* f = *std::launder(reinterpret_cast<Fn**>(e->storage));
+        struct Destroy {
+          Fn* f;
+          ~Destroy() { delete f; }
+        } d{f};
+        (*f)();
+      };
+      n->drop = [](EventNode* e) {
+        delete *std::launder(reinterpret_cast<Fn**>(e->storage));
+      };
+    }
+    wheel_.insert(at, n);
+    return TimerId{n, n->seq};
+  }
+
+  /// Cancel a scheduled event. Returns true iff the event was still
+  /// pending (not fired, not already cancelled); its payload is destroyed
+  /// without running. Safe to call with a stale or default id.
+  bool cancel(TimerId id) noexcept { return wheel_.cancel(id.node, id.seq); }
 
   /// Awaitable: suspend the calling coroutine for `d` virtual nanoseconds.
+  /// sleep(0) resumes through the at-now FIFO fast path, after events
+  /// already queued for the current instant.
   auto sleep(Nanos d) {
     struct Awaiter {
       Engine& engine;
@@ -54,7 +127,19 @@ class Engine {
   void spawn(Co<> actor);
 
   /// Process a single event. Returns false if the queue is empty.
-  bool step();
+  bool step() {
+    EventNode* n = wheel_.pop();
+    if (n == nullptr) return false;
+    now_ = n->at;
+    ++steps_;
+    struct Release {
+      TimerWheel& wheel;
+      EventNode* n;
+      ~Release() { wheel.release(n); }
+    } r{wheel_, n};
+    n->invoke(n);
+    return true;
+  }
 
   /// Run until the event queue drains.
   void run();
@@ -77,33 +162,18 @@ class Engine {
   }
 
   /// Human-readable snapshot of the engine (pending event count, virtual
-  /// time, next event) plus whatever the diagnostics provider reports.
-  /// run_until() dumps this to stderr when its watchdog trips, so a hung
-  /// run is debuggable instead of a bare failed assertion.
+  /// time, next event, scheduler-tier occupancy) plus whatever the
+  /// diagnostics provider reports. run_until() dumps this to stderr when
+  /// its watchdog trips, so a hung run is debuggable instead of a bare
+  /// failed assertion. Read-only: no tier is copied or disturbed.
   std::string diagnostics() const;
 
-  std::size_t pending_events() const noexcept { return queue_.size(); }
+  std::size_t pending_events() const noexcept { return wheel_.live(); }
 
  private:
-  struct Event {
-    Nanos at;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;  // either handle or fn is set
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
-  void dispatch(Event& ev);
-
   Nanos now_ = 0;
-  std::uint64_t seq_ = 0;
   std::uint64_t steps_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimerWheel wheel_;
   std::function<std::string()> diagnostics_provider_;
 };
 

@@ -1,18 +1,32 @@
 #include "sim/mutex.hpp"
 
+#include <algorithm>
 #include <cassert>
-#include <memory>
 
 namespace spindle::sim {
 
+void Mutex::push_waiter(std::coroutine_handle<> h) {
+  if (head_ == waiters_.size()) {
+    // Ring empty: recycle the whole buffer (keeps capacity).
+    waiters_.clear();
+    head_ = 0;
+  } else if (head_ > 64 && head_ > waiters_.size() / 2) {
+    // Mostly-consumed prefix: compact so the buffer stays bounded by the
+    // live high-water mark (amortized O(1) per waiter).
+    waiters_.erase(waiters_.begin(),
+                   waiters_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  waiters_.push_back(Waiter{h, engine_.now()});
+}
+
 void Mutex::unlock() {
   assert(locked_ && "unlock of an unlocked mutex");
-  if (waiters_.empty()) {
+  if (head_ == waiters_.size()) {
     locked_ = false;
     return;
   }
-  Waiter next = waiters_.front();
-  waiters_.pop_front();
+  Waiter next = waiters_[head_++];
   total_wait_ += engine_.now() - next.since;
   ++acquisitions_;
   // Ownership transfers to `next`; the mutex stays locked. Resume through
@@ -20,54 +34,81 @@ void Mutex::unlock() {
   engine_.schedule_handle(engine_.now(), next.handle);
 }
 
+Signal::~Signal() {
+  // Waiters still registered hold timeout events whose callbacks point at
+  // our pooled state; cancel them so nothing dangles after we are gone.
+  for (WaitState* s : waiters_) engine_.cancel(s->timeout);
+}
+
+Signal::WaitState* Signal::acquire_state() {
+  if (free_ != nullptr) {
+    WaitState* s = free_;
+    free_ = s->next_free;
+    s->next_free = nullptr;
+    return s;
+  }
+  pool_.emplace_back();
+  return &pool_.back();
+}
+
+void Signal::release_state(WaitState* s) noexcept {
+  s->fired = false;
+  s->timed_out = false;
+  s->handle = nullptr;
+  s->timeout = {};
+  s->next_free = free_;
+  free_ = s;
+}
+
 Co<bool> Signal::wait_for(Nanos timeout) {
-  auto state = std::make_shared<WaitState>();
+  WaitState* state = acquire_state();
   waiters_.push_back(state);
 
   struct Suspend {
     Engine& engine;
-    std::shared_ptr<WaitState> state;
+    WaitState* state;
     Nanos timeout;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
       state->handle = h;
       // The timeout event checks whether the signal already fired; if so it
-      // is a no-op (the waiter was resumed by signal()).
-      engine.schedule_fn(engine.now() + timeout, [s = state] {
-        if (!s->fired && s->handle) {
-          s->timed_out = true;
-          auto h = s->handle;
-          s->handle = nullptr;
-          h.resume();
-        }
-      });
+      // is a no-op (the waiter was resumed by signal()). signal() cancels
+      // it outright, so the common signalled path leaves no dead timer.
+      state->timeout =
+          engine.schedule_fn(engine.now() + timeout, [s = state] {
+            if (!s->fired && s->handle) {
+              s->timed_out = true;
+              auto h = s->handle;
+              s->handle = nullptr;
+              h.resume();
+            }
+          });
     }
     void await_resume() const noexcept {}
   };
 
   // NOTE: the awaiter must be a named local, not a temporary. GCC 12
   // destroys subobjects of a temporary awaiter in `co_await Suspend{...}`
-  // prematurely, releasing the shared state while the coroutine is still
-  // suspended (observed as a use-after-free under ASan).
+  // prematurely (observed as a use-after-free under ASan).
   Suspend suspend{engine_, state, timeout};
   co_await suspend;
 
+  const bool ok = !state->timed_out;
   if (state->timed_out) {
     // Drop our stale registration so an idle poller that only ever times
     // out does not grow the waiter list unboundedly.
     std::erase(waiters_, state);
   }
-  co_return !state->timed_out;
+  release_state(state);
+  co_return ok;
 }
 
 void Signal::signal() {
   ++signals_;
-  ++generation_;
-  auto pending = std::move(waiters_);
-  waiters_.clear();
-  for (auto& s : pending) {
+  for (WaitState* s : waiters_) {
     if (!s->timed_out && !s->fired) {
       s->fired = true;
+      engine_.cancel(s->timeout);
       if (s->handle) {
         auto h = s->handle;
         s->handle = nullptr;
@@ -75,6 +116,7 @@ void Signal::signal() {
       }
     }
   }
+  waiters_.clear();
 }
 
 }  // namespace spindle::sim

@@ -3,7 +3,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
-#include <memory>
+#include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
@@ -14,6 +14,10 @@ namespace spindle::sim {
 /// experiments can report lock wait time (the quantity §3.4 of the paper
 /// optimizes). Ownership transfers directly to the longest waiter; the
 /// waiter resumes through the event queue at the release timestamp.
+///
+/// The waiter list is a compacting vector ring: steady-state contention is
+/// allocation-free (the vector grows once to the high-water mark and the
+/// consumed prefix is recycled amortized O(1)).
 class Mutex {
  public:
   explicit Mutex(Engine& engine) : engine_(engine) {}
@@ -23,7 +27,6 @@ class Mutex {
   auto lock() {
     struct Awaiter {
       Mutex& m;
-      Nanos enqueued_at{};
       bool await_ready() noexcept {
         if (!m.locked_) {
           m.locked_ = true;
@@ -33,9 +36,8 @@ class Mutex {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        enqueued_at = m.engine_.now();
         ++m.contended_acquisitions_;
-        m.waiters_.push_back(Waiter{h, enqueued_at});
+        m.push_waiter(h);
       }
       void await_resume() noexcept {}
     };
@@ -57,9 +59,12 @@ class Mutex {
     Nanos since;
   };
 
+  void push_waiter(std::coroutine_handle<> h);
+
   Engine& engine_;
   bool locked_ = false;
-  std::deque<Waiter> waiters_;
+  std::vector<Waiter> waiters_;  // ring: [head_, size) are live
+  std::size_t head_ = 0;
   std::uint64_t acquisitions_ = 0;
   std::uint64_t contended_acquisitions_ = 0;
   Nanos total_wait_ = 0;
@@ -92,9 +97,17 @@ class ScopedUnlock {
 /// One-shot waitable event with optional timeout: the doorbell primitive.
 /// wait_for() returns true if signalled, false on timeout. Multiple waiters
 /// are all released by one signal().
+///
+/// Wait state is pooled inside the Signal (a poll loop that waits and times
+/// out repeatedly allocates nothing after the first lap), and the timeout
+/// event is cancelled the moment the signal fires, so an active doorbell
+/// leaves no dead timers behind in the scheduler.
 class Signal {
  public:
   explicit Signal(Engine& engine) : engine_(engine) {}
+  ~Signal();
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
 
   /// Awaitable<bool>: true = signalled, false = timed out.
   Co<bool> wait_for(Nanos timeout);
@@ -110,11 +123,18 @@ class Signal {
     bool fired = false;
     bool timed_out = false;
     std::coroutine_handle<> handle;
+    Engine::TimerId timeout;
+    WaitState* next_free = nullptr;
   };
+
+  WaitState* acquire_state();
+  void release_state(WaitState* s) noexcept;
+
   Engine& engine_;
-  std::uint64_t generation_ = 0;
   std::uint64_t signals_ = 0;
-  std::deque<std::shared_ptr<WaitState>> waiters_;
+  std::vector<WaitState*> waiters_;
+  std::deque<WaitState> pool_;  // stable addresses; nodes recycled via free_
+  WaitState* free_ = nullptr;
 };
 
 }  // namespace spindle::sim

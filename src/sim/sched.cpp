@@ -1,0 +1,215 @@
+#include "sim/sched.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace spindle::sim {
+
+TimerWheel::TimerWheel()
+    : buckets_(kNumBuckets, nullptr), bitmap_(kNumBuckets / 64, 0) {}
+
+TimerWheel::~TimerWheel() {
+  // Destroy the payloads of everything still pending. Cancelled nodes were
+  // destroyed at cancel time (invoke == nullptr); coroutine-handle events
+  // have no drop (frames are not engine-owned, matching the old engine).
+  auto drop_chain = [](EventNode* n) {
+    for (; n != nullptr; n = n->next) {
+      if (n->invoke != nullptr && n->drop != nullptr) n->drop(n);
+    }
+  };
+  drop_chain(fifo_head_);
+  for (EventNode* n : ready_) {
+    if (n->invoke != nullptr && n->drop != nullptr) n->drop(n);
+  }
+  for (EventNode* head : buckets_) drop_chain(head);
+  for (EventNode* n : overflow_) {
+    if (n->invoke != nullptr && n->drop != nullptr) n->drop(n);
+  }
+}
+
+EventNode* TimerWheel::acquire() {
+  if (free_ == nullptr) {
+    chunks_.push_back(std::make_unique<EventNode[]>(kChunk));
+    EventNode* chunk = chunks_.back().get();
+    for (std::size_t i = 0; i < kChunk; ++i) {
+      chunk[i].next = free_;
+      free_ = &chunk[i];
+    }
+  }
+  EventNode* n = free_;
+  free_ = n->next;
+  n->next = nullptr;
+  return n;
+}
+
+void TimerWheel::insert(Nanos at, EventNode* n) {
+  n->at = at;
+  n->seq = seq_++;
+  ++live_;
+  if (at == last_pop_at_) {
+    // Fast path: schedule-at-now (mutex handoff, doorbell, spawn, sleep(0)).
+    // Sequence numbers are monotonic, so appending keeps the list sorted,
+    // and the list drains before virtual time can advance past it.
+    n->next = nullptr;
+    if (fifo_tail_ != nullptr) {
+      fifo_tail_->next = n;
+    } else {
+      fifo_head_ = n;
+    }
+    fifo_tail_ = n;
+    return;
+  }
+  const std::int64_t idx = (at - base_) >> kSlotShift;
+  if (idx < static_cast<std::int64_t>(next_scan_)) {
+    // Current (or already-drained) bucket: joins the ready heap directly.
+    ready_.push_back(n);
+    std::push_heap(ready_.begin(), ready_.end(), later);
+    return;
+  }
+  if (idx < static_cast<std::int64_t>(kNumBuckets)) {
+    const auto b = static_cast<std::size_t>(idx);
+    n->next = buckets_[b];
+    buckets_[b] = n;
+    set_bit(b);
+    return;
+  }
+  overflow_.push_back(n);
+  std::push_heap(overflow_.begin(), overflow_.end(), overflow_later);
+}
+
+std::size_t TimerWheel::scan_from(std::size_t from) const noexcept {
+  if (from >= kNumBuckets) return kNumBuckets;
+  std::size_t word = from >> 6;
+  std::uint64_t bits = bitmap_[word] & (~std::uint64_t{0} << (from & 63));
+  while (bits == 0) {
+    if (++word >= bitmap_.size()) return kNumBuckets;
+    bits = bitmap_[word];
+  }
+  return (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+}
+
+void TimerWheel::drain_bucket(std::size_t b) {
+  EventNode* n = buckets_[b];
+  buckets_[b] = nullptr;
+  clear_bit(b);
+  for (; n != nullptr;) {
+    EventNode* next = n->next;
+    if (n->invoke == nullptr) {
+      release(n);  // cancelled while parked in the bucket: reclaim now
+    } else {
+      ready_.push_back(n);
+    }
+    n = next;
+  }
+  std::make_heap(ready_.begin(), ready_.end(), later);
+}
+
+void TimerWheel::rebase() {
+  // Wheel and near tiers are empty; restart the window at the earliest
+  // far-future timer and migrate the overflow prefix that now fits. The
+  // overflow heap makes this O(k log n) for k migrated nodes — rebasing
+  // never walks timers that stay beyond the window (watchdogs).
+  while (!overflow_.empty() && overflow_[0]->invoke == nullptr) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), overflow_later);
+    release(overflow_.back());
+    overflow_.pop_back();
+  }
+  if (overflow_.empty()) return;
+  base_ = (overflow_[0]->at >> kSlotShift) << kSlotShift;
+  next_scan_ = 0;
+  const Nanos window_end = base_ + kWindow;
+  while (!overflow_.empty() && overflow_[0]->at < window_end) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), overflow_later);
+    EventNode* n = overflow_.back();
+    overflow_.pop_back();
+    if (n->invoke == nullptr) {
+      release(n);
+      continue;
+    }
+    const auto b = static_cast<std::size_t>((n->at - base_) >> kSlotShift);
+    n->next = buckets_[b];
+    buckets_[b] = n;
+    set_bit(b);
+  }
+}
+
+bool TimerWheel::advance() {
+  for (;;) {
+    const std::size_t b = scan_from(next_scan_);
+    if (b < kNumBuckets) {
+      next_scan_ = b + 1;
+      drain_bucket(b);
+      return true;
+    }
+    if (overflow_.empty()) return false;
+    rebase();
+    if (overflow_.empty() && scan_from(0) == kNumBuckets) return false;
+  }
+}
+
+EventNode* TimerWheel::pop() {
+  for (;;) {
+    EventNode* n = nullptr;
+    if (fifo_head_ != nullptr &&
+        (ready_.empty() || !later(fifo_head_, ready_.front()))) {
+      n = fifo_head_;
+      fifo_head_ = n->next;
+      if (fifo_head_ == nullptr) fifo_tail_ = nullptr;
+    } else if (!ready_.empty()) {
+      std::pop_heap(ready_.begin(), ready_.end(), later);
+      n = ready_.back();
+      ready_.pop_back();
+    } else {
+      if (!advance()) return nullptr;
+      continue;
+    }
+    if (n->invoke == nullptr) {
+      release(n);  // cancelled: payload already destroyed, reclaim lazily
+      continue;
+    }
+    last_pop_at_ = n->at;
+    n->seq = EventNode::kFreeSeq;  // stale TimerIds must fail from here on
+    --live_;
+    return n;
+  }
+}
+
+bool TimerWheel::peek_at(Nanos* out) const {
+  if (fifo_head_ != nullptr) {
+    *out = fifo_head_->at;
+    return true;
+  }
+  if (!ready_.empty()) {
+    *out = ready_.front()->at;
+    return true;
+  }
+  const std::size_t b = scan_from(next_scan_);
+  if (b < kNumBuckets) {
+    Nanos min_at = buckets_[b]->at;
+    for (EventNode* n = buckets_[b]->next; n != nullptr; n = n->next) {
+      min_at = std::min(min_at, n->at);
+    }
+    *out = min_at;
+    return true;
+  }
+  if (!overflow_.empty()) {
+    *out = overflow_[0]->at;  // heap top = earliest overflow timer
+    return true;
+  }
+  return false;
+}
+
+TimerWheel::Occupancy TimerWheel::occupancy() const {
+  Occupancy occ;
+  for (EventNode* n = fifo_head_; n != nullptr; n = n->next) ++occ.immediate;
+  occ.ready = ready_.size();
+  for (std::size_t b = scan_from(0); b < kNumBuckets; b = scan_from(b + 1)) {
+    for (EventNode* n = buckets_[b]; n != nullptr; n = n->next) ++occ.wheel;
+  }
+  occ.overflow = overflow_.size();
+  occ.window_base = base_;
+  occ.window_end = base_ + kWindow;
+  return occ;
+}
+
+}  // namespace spindle::sim

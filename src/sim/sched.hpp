@@ -1,0 +1,192 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace spindle::sim {
+
+/// One scheduled event, pooled and intrusively linked. The payload (a small
+/// callable or a coroutine handle) lives in fixed-size inline storage, so
+/// scheduling never heap-allocates on the hot path; callables larger than
+/// the inline window fall back to one owned heap box, set up by the engine.
+///
+/// Lifecycle: acquire() -> [caller installs payload] -> insert() ->
+/// pop() -> [engine invokes payload] -> release(). cancel() destroys the
+/// payload in place and leaves the dead node to be reclaimed lazily when
+/// its tier reaches it.
+struct EventNode {
+  static constexpr std::size_t kInlineBytes = 64;
+  /// Sequence value of a node that is not scheduled (free, or already
+  /// popped); makes stale TimerIds fail validation.
+  static constexpr std::uint64_t kFreeSeq = ~std::uint64_t{0};
+
+  Nanos at = 0;
+  std::uint64_t seq = kFreeSeq;
+  EventNode* next = nullptr;        // bucket chain / free list / FIFO link
+  void (*invoke)(EventNode*) = nullptr;  // run + destroy payload; null = dead
+  void (*drop)(EventNode*) = nullptr;    // destroy payload without running
+  alignas(std::max_align_t) std::byte storage[kInlineBytes];
+};
+
+/// Hierarchical timer-wheel scheduler with an overflow tier.
+///
+/// Replaces the binary-heap event queue: the common case (events within
+/// ~1 ms of virtual now — verb posts, wire latencies, heartbeats) is an
+/// O(1) bucket insert, and the very common `schedule at now` case (mutex
+/// handoff, doorbell signal, spawn) is an O(1) FIFO append. Ordering is
+/// exactly (at, seq) ascending — identical to the heap it replaces,
+/// including same-timestamp FIFO ties — resolved per tier:
+///
+///  * **immediate FIFO** — events at exactly the current virtual time.
+///    Sequence numbers are assigned monotonically, so appending preserves
+///    order and the list is drained before time can advance.
+///  * **ready heap** — the bucket containing `now`, heapified by (at, seq)
+///    when the cursor reaches it (heap order only *inside* one bucket).
+///  * **wheel** — kNumBuckets unsorted bucket chains of kSlotWidth ns each,
+///    with a bitmap for O(1) next-non-empty scan.
+///  * **overflow** — far-future timers (watchdogs, failure timeouts beyond
+///    the window). When the wheel drains, the window is re-based at the
+///    earliest overflow timer and overflow events that now fit migrate in.
+///
+/// Determinism argument: pop() always returns the minimum (at, seq) over
+/// all tiers. FIFO entries all carry at == last-popped-at (the current
+/// instant) and beat every bucket event (strictly later buckets) and tie
+/// against ready-heap events by seq; buckets beyond the cursor hold only
+/// events later than everything in the ready heap; overflow holds only
+/// events beyond the window. Insertion order inside a bucket is irrelevant
+/// because the bucket is sorted (heapified) before any of it is popped.
+class TimerWheel {
+ public:
+  static constexpr int kBucketBits = 11;  // 2048 buckets
+  static constexpr int kSlotShift = 9;    // 512 ns per bucket
+  static constexpr std::size_t kNumBuckets = std::size_t{1} << kBucketBits;
+  static constexpr Nanos kSlotWidth = Nanos{1} << kSlotShift;
+  static constexpr Nanos kWindow =
+      kSlotWidth * static_cast<Nanos>(kNumBuckets);  // ~1.05 ms
+
+  TimerWheel();
+  ~TimerWheel();
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Take a node from the slab pool (payload storage uninitialized).
+  EventNode* acquire();
+
+  /// Return a node to the pool. The payload must already be destroyed
+  /// (invoke consumed it, or cancel/drop did).
+  void release(EventNode* n) noexcept {
+    n->seq = EventNode::kFreeSeq;
+    n->invoke = nullptr;
+    n->drop = nullptr;
+    n->next = free_;
+    free_ = n;
+  }
+
+  /// File `n` at absolute time `at`, assigning the next sequence number.
+  void insert(Nanos at, EventNode* n);
+
+  /// Remove and return the earliest live node, or nullptr if none remain.
+  /// The returned node's seq is invalidated (stale TimerIds fail) but the
+  /// payload is intact; the caller invokes it and then release()s.
+  EventNode* pop();
+
+  /// Cancel the event iff `seq` still matches (it has not fired, been
+  /// cancelled, or had its node recycled). Destroys the payload in place;
+  /// the dead node keeps its (at, seq) key — it may sit inside an ordered
+  /// tier — and is reclaimed lazily. A second cancel of the same id fails
+  /// the invoke check below.
+  bool cancel(EventNode* n, std::uint64_t seq) noexcept {
+    if (n == nullptr || seq == EventNode::kFreeSeq || n->seq != seq ||
+        n->invoke == nullptr) {
+      return false;
+    }
+    if (n->drop != nullptr) n->drop(n);
+    n->invoke = nullptr;
+    n->drop = nullptr;
+    --live_;
+    return true;
+  }
+
+  /// Scheduled, uncancelled, unpopped events.
+  std::size_t live() const noexcept { return live_; }
+
+  /// Advance the wheel's notion of "the current instant" without popping —
+  /// used by Engine::run_to when virtual time moves past the last event.
+  /// Precondition: no pending event is earlier than `t` (so the at-now
+  /// FIFO is empty and insert-at-`t` keeps its fast path).
+  void sync_now(Nanos t) noexcept {
+    assert(fifo_head_ == nullptr);
+    last_pop_at_ = t;
+  }
+
+  /// Earliest pending timestamp (live or cancelled-but-unreclaimed) without
+  /// disturbing any tier. Returns false when empty.
+  bool peek_at(Nanos* out) const;
+
+  /// Tier occupancy for diagnostics dumps (counts include dead nodes not
+  /// yet reclaimed — they still occupy tier slots).
+  struct Occupancy {
+    std::size_t immediate = 0;  // at-now FIFO
+    std::size_t ready = 0;      // current bucket heap
+    std::size_t wheel = 0;      // future buckets within the window
+    std::size_t overflow = 0;   // beyond the window
+    Nanos window_base = 0;
+    Nanos window_end = 0;
+  };
+  Occupancy occupancy() const;
+
+ private:
+  static bool later(const EventNode* a, const EventNode* b) noexcept {
+    return a->at != b->at ? a->at > b->at : a->seq > b->seq;
+  }
+
+  /// Drain the next non-empty bucket into the ready heap, re-basing the
+  /// window from the overflow tier if the wheel is empty. Returns false
+  /// when every tier is empty.
+  bool advance();
+  void rebase();
+  void drain_bucket(std::size_t b);
+
+  void set_bit(std::size_t b) noexcept {
+    bitmap_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  }
+  void clear_bit(std::size_t b) noexcept {
+    bitmap_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+  }
+  /// First non-empty bucket with index >= from, or kNumBuckets.
+  std::size_t scan_from(std::size_t from) const noexcept;
+
+  // Slab pool.
+  static constexpr std::size_t kChunk = 256;
+  std::vector<std::unique_ptr<EventNode[]>> chunks_;
+  EventNode* free_ = nullptr;
+
+  // Tiers.
+  EventNode* fifo_head_ = nullptr;  // at == last_pop_at_, seq-ordered
+  EventNode* fifo_tail_ = nullptr;
+  static bool overflow_later(const EventNode* a, const EventNode* b) noexcept {
+    return a->at > b->at;
+  }
+
+  std::vector<EventNode*> ready_;   // min-heap by (at, seq)
+  std::vector<EventNode*> buckets_;
+  std::vector<std::uint64_t> bitmap_;
+  /// Min-heap on `at` only: rebase pops just the prefix that fits the new
+  /// window instead of walking the whole tier. Seq ties don't matter here —
+  /// migrated nodes land in buckets, which are (at, seq)-heapified before
+  /// any of them can pop.
+  std::vector<EventNode*> overflow_;
+
+  Nanos base_ = 0;              // window start (aligned to kSlotWidth)
+  std::size_t next_scan_ = 0;   // buckets below this index are drained
+  Nanos last_pop_at_ = 0;       // "virtual now" as the wheel knows it
+  std::uint64_t seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace spindle::sim

@@ -1,10 +1,12 @@
 #include "workload/experiment.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "trace/export.hpp"
+#include "workload/sweep.hpp"
 
 namespace spindle::workload {
 
@@ -51,6 +53,7 @@ sim::Co<> sender_actor(core::Cluster* cluster, net::NodeId id,
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  const auto wall_start = std::chrono::steady_clock::now();
   core::ClusterConfig cc;
   cc.nodes = cfg.nodes;
   cc.timing = cfg.timing;
@@ -175,6 +178,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   cluster.shutdown();
+  res.engine_steps = cluster.engine().steps();
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return res;
 }
 
@@ -182,11 +190,14 @@ Averaged run_averaged(ExperimentConfig cfg, int runs) {
   Averaged avg;
   metrics::RunStats tp;
   metrics::RunStats lat;
-  for (int r = 0; r < runs; ++r) {
-    cfg.seed = cfg.seed + static_cast<std::uint64_t>(r == 0 ? 0 : 1);
-    avg.last = run_experiment(cfg);
-    tp.add(avg.last.throughput_gbps);
-    lat.add(avg.last.median_latency_us);
+  std::vector<ExperimentResult> results =
+      run_seed_sweep(cfg, runs > 0 ? static_cast<std::size_t>(runs) : 0);
+  for (ExperimentResult& r : results) {
+    tp.add(r.throughput_gbps);
+    lat.add(r.median_latency_us);
+    avg.engine_steps += r.engine_steps;
+    avg.wall_seconds += r.wall_seconds;
+    avg.last = std::move(r);
   }
   avg.mean_gbps = tp.mean();
   avg.stddev_gbps = tp.stddev();

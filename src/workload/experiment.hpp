@@ -67,6 +67,11 @@ struct ExperimentResult {
   /// Fraction of predicate-thread CPU spent in active subgroups (§4.1.3).
   double active_predicate_fraction = 0;
   std::uint64_t expected_deliveries = 0;
+  /// Simulator cost of the run: events dispatched and real (wall-clock)
+  /// time spent inside run_experiment — the perf-trajectory numbers the
+  /// BENCH_*.json baselines track.
+  std::uint64_t engine_steps = 0;
+  double wall_seconds = 0;
   /// Delivery latency split by sender class (§4.2.1: messages from delayed
   /// senders vs continuous senders).
   metrics::Histogram delayed_sender_latency_ns;
@@ -79,10 +84,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg);
 
 /// The paper runs each test 5 times and plots mean +- stddev. Seeds are
 /// seed, seed+1, ... Returns throughput statistics plus the last result.
+/// Runs execute seed-parallel on the sweep thread pool (workload/sweep.hpp)
+/// — per-seed results are byte-identical to serial execution.
 struct Averaged {
   double mean_gbps = 0;
   double stddev_gbps = 0;
   double mean_median_latency_us = 0;
+  std::uint64_t engine_steps = 0;  // summed over the runs
+  double wall_seconds = 0;         // summed over the runs
   ExperimentResult last;
 };
 Averaged run_averaged(ExperimentConfig cfg, int runs = 3);

@@ -1,0 +1,34 @@
+#include "workload/sweep.hpp"
+
+#include <cstdlib>
+
+namespace spindle::workload {
+
+std::size_t sweep_thread_count(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("SPINDLE_SWEEP_THREADS")) {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::vector<ExperimentResult> run_seed_sweep(const ExperimentConfig& base,
+                                             std::size_t runs,
+                                             SweepOptions opt) {
+  if (base.trace_sink || !base.trace_out.empty()) {
+    // Trace sinks and dump files are shared state; keep those runs serial.
+    opt.threads = 1;
+  }
+  return parallel_sweep<ExperimentResult>(
+      runs,
+      [&base](std::size_t i) {
+        ExperimentConfig cfg = base;
+        cfg.seed = base.seed + i;
+        return run_experiment(cfg);
+      },
+      opt);
+}
+
+}  // namespace spindle::workload

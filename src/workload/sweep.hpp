@@ -1,0 +1,83 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "workload/experiment.hpp"
+
+namespace spindle::workload {
+
+/// Options for the seed-parallel sweep runner.
+struct SweepOptions {
+  /// Worker threads; 0 = SPINDLE_SWEEP_THREADS env, else
+  /// hardware_concurrency. 1 degenerates to a serial loop.
+  std::size_t threads = 0;
+};
+
+/// Resolve `requested` (see SweepOptions::threads) to a concrete count.
+std::size_t sweep_thread_count(std::size_t requested);
+
+/// Run `job(0) .. job(n-1)` on a thread pool and return the results in job
+/// order. Each job must be self-contained — one engine/cluster per job,
+/// zero shared mutable state — which every `run_experiment`/chaos run
+/// already is (an engine is a pure function of its config + seed). Because
+/// jobs never share state, the result vector is byte-identical to running
+/// the same jobs serially, regardless of thread count or interleaving:
+/// per-seed determinism is untouched, only wall-clock time changes.
+///
+/// The first exception thrown by any job is rethrown on the caller's
+/// thread after all workers join.
+template <typename R>
+std::vector<R> parallel_sweep(std::size_t n,
+                              const std::function<R(std::size_t)>& job,
+                              SweepOptions opt = {}) {
+  std::vector<R> results(n);
+  const std::size_t workers =
+      n == 0 ? 0 : std::min(n, sweep_thread_count(opt.threads));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) results[i] = job(i);
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n || failed.load(std::memory_order_relaxed)) return;
+        try {
+          results[i] = job(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(error_mu);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+/// Run `runs` copies of `base` with seeds base.seed, base.seed+1, ... on
+/// all cores — the shape of every figure sweep and of run_averaged. Falls
+/// back to serial execution when the config carries a trace sink or trace
+/// output path (those write shared state: a file, a caller-owned struct).
+std::vector<ExperimentResult> run_seed_sweep(const ExperimentConfig& base,
+                                             std::size_t runs,
+                                             SweepOptions opt = {});
+
+}  // namespace spindle::workload

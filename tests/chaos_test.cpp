@@ -9,7 +9,7 @@
 //
 //   SPINDLE_CHAOS_RUNS=1 SPINDLE_CHAOS_SEED=<seed> ./tests/chaos_test
 //
-// The sweep size defaults to 200 schedules and scales with the
+// The sweep size defaults to 500 schedules and scales with the
 // SPINDLE_CHAOS_RUNS environment variable (nightly runs use thousands).
 
 #include <gtest/gtest.h>
@@ -31,7 +31,7 @@ std::vector<std::uint64_t> chaos_seeds() {
   if (const char* s = std::getenv("SPINDLE_CHAOS_SEED")) {
     return {std::strtoull(s, nullptr, 0)};
   }
-  std::size_t runs = 200;
+  std::size_t runs = 500;
   if (const char* r = std::getenv("SPINDLE_CHAOS_RUNS")) {
     runs = std::strtoull(r, nullptr, 10);
   }

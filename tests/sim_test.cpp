@@ -289,5 +289,45 @@ TEST(Rng, ForkProducesIndependentStream) {
   EXPECT_LT(same, 5);
 }
 
+TEST(Engine, CancelStopsScheduledCallback) {
+  Engine engine;
+  int ran = 0;
+  auto id = engine.schedule_fn(50, [&ran] { ++ran; });
+  engine.schedule_fn(60, [&ran] { ++ran; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // already cancelled
+  engine.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(engine.cancel(id));  // long gone
+}
+
+TEST(Signal, SignalledWaitCancelsItsTimeoutEvent) {
+  // A signalled wait_for must cancel its timeout instead of leaving it in
+  // the queue as a lazy no-op: after 1000 signalled waits with 100 s
+  // timeouts, the queue drains at the virtual time of the last signal —
+  // not 100 s later — and no pending events remain.
+  Engine engine;
+  Mutex mutex(engine);  // unrelated; ensures coexistence with waiter pools
+  Signal signal(engine);
+  int wakes = 0;
+  engine.spawn([](Engine& e, Signal& s, int& wakes) -> Co<> {
+    for (int i = 0; i < 1000; ++i) {
+      const bool ok = co_await s.wait_for(seconds(100));
+      if (ok) ++wakes;
+    }
+    (void)e;
+  }(engine, signal, wakes));
+  engine.spawn([](Engine& e, Signal& s) -> Co<> {
+    for (int i = 0; i < 1000; ++i) {
+      co_await e.sleep(10);
+      s.signal();
+    }
+  }(engine, signal));
+  engine.run();
+  EXPECT_EQ(wakes, 1000);
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_LT(engine.now(), seconds(1));  // no lazy timeout expiry tail
+}
+
 }  // namespace
 }  // namespace spindle::sim
