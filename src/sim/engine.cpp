@@ -59,9 +59,10 @@ std::string Engine::diagnostics() const {
 }
 
 void Engine::run_to(Nanos t) {
-  Nanos next = 0;
-  while (wheel_.peek_at(&next) && next <= t) {
-    if (!step()) break;  // only dead (cancelled) nodes remained
+  // Gate on step_until, not peek_at: peek_at may report a cancelled timer
+  // inside the horizon, and dispatching past it would run a live event
+  // beyond t. pop_until reclaims the dead nodes and stops at the horizon.
+  while (step_until(t)) {
   }
   if (now_ < t) {
     now_ = t;

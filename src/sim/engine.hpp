@@ -127,19 +127,14 @@ class Engine {
   void spawn(Co<> actor);
 
   /// Process a single event. Returns false if the queue is empty.
-  bool step() {
-    EventNode* n = wheel_.pop();
-    if (n == nullptr) return false;
-    now_ = n->at;
-    ++steps_;
-    struct Release {
-      TimerWheel& wheel;
-      EventNode* n;
-      ~Release() { wheel.release(n); }
-    } r{wheel_, n};
-    n->invoke(n);
-    return true;
-  }
+  bool step() { return dispatch(wheel_.pop()); }
+
+  /// Process a single event only if it is scheduled at or before `t`.
+  /// Returns false when the earliest live event is beyond `t` (it stays
+  /// queued, order untouched) or the queue is empty. Cancelled timers
+  /// earlier than `t` are reclaimed, never dispatched, and never cause a
+  /// live event beyond `t` to run — run_to()'s horizon guarantee.
+  bool step_until(Nanos t) { return dispatch(wheel_.pop_until(t)); }
 
   /// Run until the event queue drains.
   void run();
@@ -171,6 +166,19 @@ class Engine {
   std::size_t pending_events() const noexcept { return wheel_.live(); }
 
  private:
+  bool dispatch(EventNode* n) {
+    if (n == nullptr) return false;
+    now_ = n->at;
+    ++steps_;
+    struct Release {
+      TimerWheel& wheel;
+      EventNode* n;
+      ~Release() { wheel.release(n); }
+    } r{wheel_, n};
+    n->invoke(n);
+    return true;
+  }
+
   Nanos now_ = 0;
   std::uint64_t steps_ = 0;
   TimerWheel wheel_;

@@ -105,7 +105,13 @@ Co<bool> Signal::wait_for(Nanos timeout) {
 
 void Signal::signal() {
   ++signals_;
-  for (WaitState* s : waiters_) {
+  // Detach the registration list before waking anyone: a woken waiter that
+  // re-waits (the doorbell poll loops in dds) push_backs into waiters_,
+  // which must neither invalidate this iteration nor be wiped when it ends
+  // — the re-registration belongs to the *next* signal. `spare_` recycles
+  // the detached buffer's capacity so steady state stays allocation-free.
+  std::vector<WaitState*> pending = std::exchange(waiters_, std::move(spare_));
+  for (WaitState* s : pending) {
     if (!s->timed_out && !s->fired) {
       s->fired = true;
       engine_.cancel(s->timeout);
@@ -116,7 +122,8 @@ void Signal::signal() {
       }
     }
   }
-  waiters_.clear();
+  pending.clear();
+  spare_ = std::move(pending);
 }
 
 }  // namespace spindle::sim

@@ -133,6 +133,7 @@ class Signal {
   Engine& engine_;
   std::uint64_t signals_ = 0;
   std::vector<WaitState*> waiters_;
+  std::vector<WaitState*> spare_;  // detached-list buffer recycled by signal()
   std::deque<WaitState> pool_;  // stable addresses; nodes recycled via free_
   WaitState* free_ = nullptr;
 };

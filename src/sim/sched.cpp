@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 
 namespace spindle::sim {
 
@@ -148,20 +149,31 @@ bool TimerWheel::advance() {
 }
 
 EventNode* TimerWheel::pop() {
+  return pop_until(std::numeric_limits<Nanos>::max());
+}
+
+EventNode* TimerWheel::pop_until(Nanos horizon) {
   for (;;) {
-    EventNode* n = nullptr;
-    if (fifo_head_ != nullptr &&
-        (ready_.empty() || !later(fifo_head_, ready_.front()))) {
-      n = fifo_head_;
-      fifo_head_ = n->next;
-      if (fifo_head_ == nullptr) fifo_tail_ = nullptr;
-    } else if (!ready_.empty()) {
-      std::pop_heap(ready_.begin(), ready_.end(), later);
-      n = ready_.back();
-      ready_.pop_back();
-    } else {
+    // Examine the minimum-(at, seq) candidate before unlinking it, so a
+    // live node beyond the horizon can be left exactly where it is. The
+    // FIFO head ties at == last_pop_at_ and buckets beyond the cursor are
+    // strictly later than the ready heap, so fifo/ready cover the minimum.
+    const bool from_fifo =
+        fifo_head_ != nullptr &&
+        (ready_.empty() || !later(fifo_head_, ready_.front()));
+    EventNode* n =
+        from_fifo ? fifo_head_ : (ready_.empty() ? nullptr : ready_.front());
+    if (n == nullptr) {
       if (!advance()) return nullptr;
       continue;
+    }
+    if (n->invoke != nullptr && n->at > horizon) return nullptr;
+    if (from_fifo) {
+      fifo_head_ = n->next;
+      if (fifo_head_ == nullptr) fifo_tail_ = nullptr;
+    } else {
+      std::pop_heap(ready_.begin(), ready_.end(), later);
+      ready_.pop_back();
     }
     if (n->invoke == nullptr) {
       release(n);  // cancelled: payload already destroyed, reclaim lazily

@@ -95,6 +95,14 @@ class TimerWheel {
   /// payload is intact; the caller invokes it and then release()s.
   EventNode* pop();
 
+  /// Like pop(), but only commits to a live node with at <= horizon; if the
+  /// earliest live node is later it stays filed (order and seq untouched)
+  /// and nullptr is returned. Dead (cancelled) nodes encountered while
+  /// scanning are reclaimed regardless of their timestamp, so a cancelled
+  /// timer inside the horizon never masks — or unmasks — live work beyond
+  /// it. Engine::run_to gates on this, not on peek_at().
+  EventNode* pop_until(Nanos horizon);
+
   /// Cancel the event iff `seq` still matches (it has not fired, been
   /// cancelled, or had its node recycled). Destroys the payload in place;
   /// the dead node keeps its (at, seq) key — it may sit inside an ordered
@@ -124,8 +132,10 @@ class TimerWheel {
     last_pop_at_ = t;
   }
 
-  /// Earliest pending timestamp (live or cancelled-but-unreclaimed) without
-  /// disturbing any tier. Returns false when empty.
+  /// Earliest pending timestamp without disturbing any tier. Returns false
+  /// when empty. Diagnostics only: the reported timestamp may belong to a
+  /// cancelled-but-unreclaimed node, so this must not gate dispatch
+  /// decisions (pop_until() exists for that).
   bool peek_at(Nanos* out) const;
 
   /// Tier occupancy for diagnostics dumps (counts include dead nodes not

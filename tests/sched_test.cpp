@@ -283,6 +283,44 @@ TEST(SchedWheel, RunToStopsExactlyAndAllowsScheduleAtNow) {
   EXPECT_EQ(order[3], 3);
 }
 
+TEST(SchedWheel, RunToDoesNotDispatchPastCancelledTimers) {
+  // A cancelled timer inside the horizon must not let run_to dispatch the
+  // next live event beyond it. Dead timers inside a horizon are routine:
+  // Signal cancels its timeout on every signal, and recovery sweeps use
+  // run_to as a hard horizon.
+  sim::Engine engine;
+  int ran_late = 0;
+  auto dead = engine.schedule_fn(sim::micros(1), [] { FAIL(); });
+  engine.schedule_fn(sim::micros(50), [&ran_late] { ++ran_late; });
+  EXPECT_TRUE(engine.cancel(dead));
+  engine.run_to(sim::micros(10));
+  EXPECT_EQ(ran_late, 0) << "live event beyond the horizon was dispatched";
+  EXPECT_EQ(engine.now(), sim::micros(10));
+  engine.run();
+  EXPECT_EQ(ran_late, 1);
+  EXPECT_EQ(engine.now(), sim::micros(50));
+}
+
+TEST(SchedWheel, RunToReclaimsCancelledTimersAcrossTiers) {
+  // Same horizon guarantee when the dead timers sit in the at-now FIFO and
+  // the overflow tier, and the only live event is a far-future watchdog.
+  sim::Engine engine;
+  engine.run_to(sim::micros(5));
+  auto dead_now = engine.schedule_fn(engine.now(), [] { FAIL(); });
+  auto dead_far = engine.schedule_fn(sim::seconds(2), [] { FAIL(); });
+  int watchdog = 0;
+  engine.schedule_fn(sim::seconds(5), [&watchdog] { ++watchdog; });
+  EXPECT_TRUE(engine.cancel(dead_now));
+  EXPECT_TRUE(engine.cancel(dead_far));
+  engine.run_to(sim::seconds(3));
+  EXPECT_EQ(watchdog, 0);
+  EXPECT_EQ(engine.now(), sim::seconds(3));
+  EXPECT_EQ(engine.pending_events(), 1u);  // dead nodes reclaimed, not live
+  engine.run();
+  EXPECT_EQ(watchdog, 1);
+  EXPECT_EQ(engine.now(), sim::seconds(5));
+}
+
 TEST(SchedWheel, DiagnosticsReportsTierOccupancyWithoutPerturbing) {
   sim::Engine engine;
   // Seed each tier: run_to establishes now, then one at-now event

@@ -301,6 +301,37 @@ TEST(Engine, CancelStopsScheduledCallback) {
   EXPECT_FALSE(engine.cancel(id));  // long gone
 }
 
+TEST(Signal, ReWaitAfterUnrelatedSignalKeepsRegistration) {
+  // The dds doorbell pattern: a waiter woken by a signal whose condition is
+  // not yet satisfied immediately re-waits. The re-registration belongs to
+  // the *next* signal and must survive signal()'s pass over the waiter
+  // list — the waiter is woken by the second signal, not left to time out.
+  Engine e;
+  Signal s(e);
+  bool condition = false;
+  std::vector<Nanos> wakes;
+  bool timed_out = false;
+  e.spawn([](Engine& eng, Signal& sig, bool& cond, std::vector<Nanos>& w,
+             bool& to) -> Co<> {
+    while (!cond) {
+      const bool ok = co_await sig.wait_for(seconds(1));
+      to = to || !ok;
+      w.push_back(eng.now());
+    }
+  }(e, s, condition, wakes, timed_out));
+  e.schedule_fn(100, [&] { s.signal(); });  // doorbell for unrelated delivery
+  e.schedule_fn(200, [&] {
+    condition = true;
+    s.signal();
+  });
+  e.run();
+  ASSERT_EQ(wakes.size(), 2u);
+  EXPECT_EQ(wakes[0], 100);
+  EXPECT_EQ(wakes[1], 200) << "re-registered waiter lost the second signal";
+  EXPECT_FALSE(timed_out);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
 TEST(Signal, SignalledWaitCancelsItsTimeoutEvent) {
   // A signalled wait_for must cancel its timeout instead of leaving it in
   // the queue as a lazy no-op: after 1000 signalled waits with 100 s
