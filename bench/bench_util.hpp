@@ -15,6 +15,8 @@
 #include "workload/experiment.hpp"
 #include "workload/table.hpp"
 
+extern "C" char** environ;  // POSIX: not declared by any header
+
 namespace spindle::bench {
 
 using workload::ExperimentConfig;
@@ -55,13 +57,29 @@ inline std::string check_completed(const ExperimentResult& r) {
 ///
 /// Shape:
 ///   { "bench": "<name>", "scale": <SPINDLE_BENCH_SCALE>,
+///     "provenance": { "seed": ..., "messages_per_sender": ...,
+///                     "env": { "SPINDLE_...": "...", ... } },
 ///     "runs": [ { "label": "...", "events_per_sec": ..., "wall_seconds":
 ///                 ..., "makespan_ns": ..., "msgs_delivered": ...,
 ///                 "engine_steps": ..., "throughput_gbps": ... }, ... ],
 ///     "metrics": { "<key>": <number>, ... } }
+///
+/// The provenance block is what makes a checked-in report reproducible: the
+/// base RNG seed and per-sender message count the bench ran with, plus every
+/// SPINDLE_* environment override in effect — so a diff between two reports
+/// can be traced to a code change rather than a forgotten env var.
 class BenchReport {
  public:
   explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Stamp the run parameters (base seed, per-sender message count) into
+  /// the report's provenance block. Benches sweeping several configurations
+  /// pass their base/first configuration.
+  void set_provenance(std::uint64_t seed, std::uint64_t messages_per_sender) {
+    seed_ = seed;
+    messages_per_sender_ = messages_per_sender;
+    has_provenance_ = true;
+  }
 
   /// Record one experiment under `label`. events/sec is engine events
   /// dispatched per wall second — the simulator-speed headline number.
@@ -106,6 +124,25 @@ class BenchReport {
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": %.6g,\n",
                  escape(name_).c_str(), workload::bench_scale());
+    std::fprintf(f, "  \"provenance\": {");
+    if (has_provenance_) {
+      std::fprintf(f, "\n    \"seed\": %llu,\n    \"messages_per_sender\": %llu,",
+                   static_cast<unsigned long long>(seed_),
+                   static_cast<unsigned long long>(messages_per_sender_));
+    }
+    std::fprintf(f, "\n    \"env\": {");
+    bool first_env = true;
+    for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+      const std::string entry = *e;
+      if (entry.rfind("SPINDLE_", 0) != 0) continue;
+      const std::size_t eq = entry.find('=');
+      if (eq == std::string::npos) continue;
+      std::fprintf(f, "%s\n      \"%s\": \"%s\"", first_env ? "" : ",",
+                   escape(entry.substr(0, eq)).c_str(),
+                   escape(entry.substr(eq + 1)).c_str());
+      first_env = false;
+    }
+    std::fprintf(f, "\n    }\n  },\n");
     std::fprintf(f, "  \"runs\": [");
     for (std::size_t i = 0; i < runs_.size(); ++i) {
       const Run& r = runs_[i];
@@ -158,6 +195,9 @@ class BenchReport {
   std::string name_;
   std::vector<Run> runs_;
   std::vector<std::pair<std::string, double>> metrics_;
+  bool has_provenance_ = false;
+  std::uint64_t seed_ = 0;
+  std::uint64_t messages_per_sender_ = 0;
 };
 
 }  // namespace spindle::bench

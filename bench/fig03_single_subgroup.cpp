@@ -27,6 +27,8 @@ int main() {
   metrics::ProtocolCounters base16;
   sim::Nanos base16_makespan = 0;
   BenchReport report("fig03_single_subgroup");
+  report.set_provenance(ExperimentConfig{}.seed,
+                        std::max<std::size_t>(scaled(2000), 300));
 
   for (auto pattern : {SenderPattern::all, SenderPattern::half,
                        SenderPattern::one}) {

@@ -57,6 +57,7 @@ int main() {
   Table t("Figure 5: incremental batching stages (all senders, 10KB)",
           {"nodes", "stage", "GB/s", "median latency (us)", "paper"});
   BenchReport report("fig05_batching_stages");
+  report.set_provenance(ExperimentConfig{}.seed, scaled(2000));
   for (std::size_t n : node_sweep()) {
     for (const Stage& st : stages) {
       ExperimentConfig cfg;

@@ -311,6 +311,7 @@ void run_scheduler_comparison() {
       heap.wall_seconds, wheel.events_per_sec, wheel.wall_seconds, speedup);
 
   bench::BenchReport report("micro_engine");
+  report.set_provenance(/*seed=*/1, /*messages_per_sender=*/churn);
   report.add_metric("standing_timers", static_cast<double>(standing));
   report.add_metric("churn_events", static_cast<double>(churn));
   report.add_metric("heap_events_per_sec", heap.events_per_sec);

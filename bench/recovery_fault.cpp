@@ -36,6 +36,13 @@ void record(spindle::bench::BenchReport& report, const std::string& label,
 int main() {
   spindle::bench::BenchReport report("recovery_fault");
   {
+    // Continuous-load scenario: the message count is horizon / send period.
+    const RecoveryConfig base;
+    report.set_provenance(
+        base.seed,
+        static_cast<std::uint64_t>(base.horizon / base.send_interval));
+  }
+  {
     Table t("Recovery vs. failure timeout (4 nodes, follower crash)",
             {"timeout_us", "detect_us", "install_us", "first_delv_us",
              "max_gap_us", "pre_Mmsg_s", "post_Mmsg_s"});

@@ -173,8 +173,20 @@ void Cluster::start() {
       ns.counters.post_cpu = nic.post_cpu;
       ns.counters.lock_wait = node->lock().total_wait();
       for (const auto& s : node->subgroups()) {
-        ns.subgroups.push_back(metrics::SubgroupStats{
-            s->id, s->cfg.name, node->delivered_in(s->id), s->predicate_cpu});
+        metrics::SubgroupStats sub{
+            s->id, s->cfg.name, node->delivered_in(s->id), s->predicate_cpu,
+            {}};
+        // Per-predicate drill-down: each subgroup is one predicate group on
+        // the node's scheduler, tagged with the subgroup id.
+        if (const sst::Predicates* preds = node->predicates()) {
+          preds->visit([&](const sst::Predicates::GroupOptions& g,
+                           const sst::PredicateStats& p) {
+            if (g.tag != s->id) return;
+            sub.predicates.push_back(metrics::PredicateStat{
+                p.name, sst::to_string(p.cls), p.evals, p.fires, p.cpu});
+          });
+        }
+        ns.subgroups.push_back(std::move(sub));
       }
       stats.nodes.push_back(std::move(ns));
     });

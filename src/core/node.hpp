@@ -14,6 +14,7 @@
 #include "sim/mutex.hpp"
 #include "sim/rng.hpp"
 #include "smc/ring.hpp"
+#include "sst/predicates.hpp"
 #include "sst/sst.hpp"
 
 namespace spindle::core {
@@ -200,6 +201,10 @@ class Node {
   sim::Mutex& lock() noexcept { return *lock_; }
   sst::Sst& sst() { return *sst_; }
 
+  /// The per-stage predicate registry this node's data plane runs on
+  /// (per-predicate eval/fire/CPU drill-down). Null before start().
+  const sst::Predicates* predicates() const noexcept { return preds_.get(); }
+
   /// Total app messages this node has delivered in `sg`.
   std::uint64_t delivered_in(SubgroupId sg) const;
   /// Predicate CPU spent in `sg`'s predicates.
@@ -228,26 +233,32 @@ class Node {
  private:
   friend class Cluster;
 
-  /// Deferred RDMA writes computed by a predicate trigger under the lock
-  /// and issued afterwards — after unlock when early_lock_release is on
-  /// (§3.4). Push functions re-read live (monotonic) state at issue time,
-  /// exactly the safety argument of the paper.
-  struct PostPlan {
-    std::int64_t send_first = 0, send_last = 0;  // ring range [first,last)
-    int ack_pushes = 0;        // pushes of received_num (n per-message acks
-                               // in the baseline, at most 1 when batching)
-    int delivered_pushes = 0;  // pushes of delivered_num
-    bool empty() const {
-      return send_first == send_last && ack_pushes == 0 &&
-             delivered_pushes == 0;
-    }
-  };
-
   /// find() that throws std::invalid_argument (public-API boundary) when
   /// this node is not a member of `sg`.
   SubgroupState& require(SubgroupId sg);
 
-  sim::Co<> predicate_loop();
+  /// Build the sst::Predicates registry: one group per subgroup (the unit
+  /// of one lock round), with the pipeline stages of §2.4 registered as
+  /// individual predicates — receive, null-send (§3.3), send (§3.2),
+  /// deliver, persist-frontier. Called once from start().
+  void setup_predicates();
+
+  // Stage triggers: the under-lock compute phase of each registered
+  // predicate. Simulated CPU accumulates in ctx.work, deferred RDMA pushes
+  // in ctx.plan (issued by the scheduler after the — possibly early, §3.4 —
+  // unlock). Each returns true iff it made protocol progress.
+  bool trigger_receive(SubgroupState& s, sst::TriggerContext& ctx);
+  bool trigger_null_send(SubgroupState& s, sst::TriggerContext& ctx);
+  bool trigger_send(SubgroupState& s, sst::TriggerContext& ctx);
+  bool trigger_deliver(SubgroupState& s, sst::TriggerContext& ctx);
+  bool trigger_persist_frontier(SubgroupState& s, sst::TriggerContext& ctx);
+
+  /// RDMA phase of the send predicate: data writes for runs of application
+  /// messages in [first,last), then one trailer-range write covering the
+  /// whole batch. Returns the CPU post cost.
+  sim::Nanos post_send_range(SubgroupState& s, std::int64_t first,
+                             std::int64_t last);
+
   /// Write-behind SSD logger for a persistent subgroup: drains the persist
   /// queue in delivery order (batching appends), then publishes the
   /// advanced persisted_num through the SST.
@@ -256,13 +267,6 @@ class Node {
   /// of staging it out of the ring).
   sim::Nanos enqueue_persist(SubgroupState& s, std::int64_t seq,
                              std::span<const std::byte> data);
-  /// Evaluate and trigger all predicates of one subgroup. Pure compute:
-  /// must be called with the node lock held; accumulates simulated CPU in
-  /// `work` and deferred writes in `plan`. Returns true if any trigger ran.
-  bool process_subgroup_sync(SubgroupState& s, sim::Nanos& work,
-                             PostPlan& plan);
-  /// Issue the plan's RDMA writes; returns CPU post cost to sleep.
-  sim::Nanos issue_posts(SubgroupState& s, const PostPlan& plan);
 
   bool slot_free(const SubgroupState& s, std::int64_t idx) const;
   std::int64_t min_delivered(const SubgroupState& s) const;
@@ -275,6 +279,7 @@ class Node {
   net::NodeId id_;
   sim::Rng rng_;
   std::unique_ptr<sim::Mutex> lock_;
+  std::unique_ptr<sst::Predicates> preds_;
   std::unique_ptr<sst::Sst> sst_;
   std::vector<std::unique_ptr<SubgroupState>> subgroups_;
   metrics::ProtocolCounters counters_;

@@ -79,13 +79,22 @@ void ManagedGroup::start() {
     m.last_hb.assign(cfg_.nodes, 0);
     m.last_change.assign(cfg_.nodes, 0);
   }
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) everyone_.push_back(i);
+  // Fork the per-member pacing streams in member order (the order the
+  // membership actors used to draw them).
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+    membership_rng_.push_back(rng_.fork());
+  }
 
   build_epoch_cluster();
 
+  member_preds_.resize(cfg_.nodes);
   for (net::NodeId id : view_.members) {
-    engine_.spawn(membership_actor(id));
+    setup_membership_predicates(id);
+    engine_.spawn(member_preds_[id]->run());
   }
-  engine_.spawn(coordinator_actor());
+  setup_coordinator_predicates();
+  engine_.spawn(coord_preds_->run());
 
   engine_.set_diagnostics_provider([this] { return diagnostics_dump(); });
 }
@@ -200,131 +209,185 @@ sim::Co<> ManagedGroup::pump_actor(net::NodeId id, std::size_t sg_index) {
   }
 }
 
-sim::Co<> ManagedGroup::membership_actor(net::NodeId id) {
-  sst::Sst& sst = *member_sst_[id];
-  MemberState& ms = mstate_[id];
-  std::vector<std::size_t> everyone;
-  for (std::size_t i = 0; i < cfg_.nodes; ++i) everyone.push_back(i);
-  sim::Rng rng = rng_.fork();
+void ManagedGroup::setup_membership_predicates(net::NodeId id) {
+  member_preds_[id] = std::make_unique<sst::Predicates>(engine_);
+  sst::Predicates& preds = *member_preds_[id];
 
-  std::int64_t hb = 0;
-  while (!stopped_ && alive_[id]) {
-    if (engine_.now() < cpu_stall_until_[id]) {
-      // Slow host (fault injection): the core running the membership
-      // thread is descheduled, so heartbeats stop flowing and peers may
-      // falsely suspect this live node.
-      co_await engine_.sleep(cpu_stall_until_[id] - engine_.now());
-      continue;
-    }
-    // 1. Heartbeat.
-    sst.write_local_i64(f_hb_, ++hb);
-    sim::Nanos post = sst.push_field(f_hb_, everyone);
+  sst::Predicates::SchedulerConfig cfg;
+  cfg.stopped = [this, id] { return stopped_ || !alive_[id]; };
+  // Slow host (fault injection): the core running the membership thread is
+  // descheduled, so heartbeats stop flowing and peers may falsely suspect
+  // this live node.
+  cfg.stall_until = [this, id] { return cpu_stall_until_[id]; };
+  // One round per heartbeat period (plus the RDMA post cost and a small
+  // phase jitter so the members do not evaluate in lockstep).
+  cfg.pace = [this, id](sim::Nanos post) {
+    return post + cfg_.heartbeat_period +
+           static_cast<sim::Nanos>(membership_rng_[id].below(2000));
+  };
+  preds.configure(std::move(cfg));
 
-    const sim::Nanos now = engine_.now();
-    bool row_dirty = false;
+  const auto gid = preds.add_group({});  // lock-free: membership SST only
 
-    // Suspicions are scoped to the *current* view: bits for nodes already
-    // removed are stale SST contents from the previous epoch and must be
-    // ignored, or every install would immediately trigger another.
-    std::uint64_t member_mask = 0;
-    for (net::NodeId m : view_.members) member_mask |= bit(m);
-    ms.suspected_mask &= member_mask;
+  // 1. Heartbeat.
+  preds.add(gid, {"heartbeat", sst::PredicateClass::recurrent, nullptr,
+                  [this, id](sst::TriggerContext& ctx) {
+                    sst::Sst& sst = *member_sst_[id];
+                    sst.write_local_i64(f_hb_, ++mstate_[id].hb);
+                    ctx.plan.add(0, [this, id] {
+                      return member_sst_[id]->push_field(f_hb_, everyone_);
+                    });
+                    return true;
+                  }});
 
-    // 2. Failure detection + suspicion adoption.
-    for (net::NodeId peer : view_.members) {
-      if (peer == id) continue;
-      const std::int64_t seen = sst.read_i64(peer, f_hb_);
-      if (seen != ms.last_hb[peer]) {
-        ms.last_hb[peer] = seen;
-        ms.last_change[peer] = now;
-      } else if (now - ms.last_change[peer] > cfg_.failure_timeout &&
-                 !(ms.suspected_mask & bit(peer))) {
-        ms.suspected_mask |= bit(peer);
-        row_dirty = true;
-      }
-      if (!(ms.suspected_mask & bit(peer))) {
-        const auto theirs = static_cast<std::uint64_t>(
-                                sst.read_i64(peer, f_susp_)) &
-                            member_mask;
-        if ((theirs & ~ms.suspected_mask) != 0) {
-          ms.suspected_mask |= theirs;
-          row_dirty = true;
-        }
-      }
-    }
-    if (row_dirty) {
-      sst.write_local_i64(f_susp_,
-                          static_cast<std::int64_t>(ms.suspected_mask));
-      post += sst.push_field(f_susp_, everyone);
-    }
+  // 2. Failure detection + suspicion adoption.
+  preds.add(gid, {"suspicion", sst::PredicateClass::recurrent, nullptr,
+                  [this, id](sst::TriggerContext& ctx) {
+                    sst::Sst& sst = *member_sst_[id];
+                    MemberState& ms = mstate_[id];
+                    const sim::Nanos now = engine_.now();
+                    bool row_dirty = false;
 
-    // 3. Wedge on any suspicion: freeze the data plane and publish frozen
-    // received_nums (data first, then the wedged_epoch guard).
-    if (ms.suspected_mask != 0 && !ms.wedged) {
-      ms.wedged = true;
-      changing_ = true;
-      wedge_node(id);
-      post += sst.push(f_frozen_.front(), f_frozen_.back(), everyone);
-      sst.write_local_i64(f_wedged_epoch_, view_.epoch + 1);
-      post += sst.push_field(f_wedged_epoch_, everyone);
-    }
+                    // Suspicions are scoped to the *current* view: bits for
+                    // nodes already removed are stale SST contents from the
+                    // previous epoch and must be ignored, or every install
+                    // would immediately trigger another.
+                    std::uint64_t member_mask = 0;
+                    for (net::NodeId m : view_.members) member_mask |= bit(m);
+                    ms.suspected_mask &= member_mask;
 
-    // 4. Leader: once every survivor has wedged, publish the ragged trim.
-    if (ms.wedged) {
-      const net::NodeId leader = current_leader(ms.suspected_mask);
-      if (leader == id) {
-        bool all_wedged = true;
-        for (net::NodeId peer : view_.members) {
-          if (ms.suspected_mask & bit(peer)) continue;
-          if (sst.read_i64(peer, f_wedged_epoch_) <
-              static_cast<std::int64_t>(view_.epoch + 1)) {
-            all_wedged = false;
-            break;
-          }
-        }
-        // Propose once every survivor is wedged — and *re-propose* when the
-        // suspicion set has grown past the published proposal (a second
-        // crash during the view change). Without the re-proposal the old
-        // proposal waits forever on a dead member's acknowledgment, and its
-        // trim may cover a node that died before freezing its counters.
-        const bool proposed =
-            sst.read_i64(id, f_prop_guard_) ==
-            static_cast<std::int64_t>(view_.epoch + 1);
-        const bool stale =
-            proposed && static_cast<std::uint64_t>(
-                            sst.read_i64(id, f_prop_failed_)) !=
-                            ms.suspected_mask;
-        if (all_wedged && (!proposed || stale)) {
-          for (std::size_t g = 0; g < num_subgroups_; ++g) {
-            std::int64_t trim = INT64_MAX;
-            for (net::NodeId peer : view_.members) {
-              if (ms.suspected_mask & bit(peer)) continue;
-              trim = std::min(trim, sst.read_i64(peer, f_frozen_[g]));
-            }
-            sst.write_local_i64(f_trim_[g], trim);
-          }
-          sst.write_local_i64(f_prop_epoch_, view_.epoch + 1);
-          sst.write_local_i64(
-              f_prop_failed_,
-              static_cast<std::int64_t>(ms.suspected_mask));
-          post += sst.push(f_trim_.front(), f_prop_failed_, everyone);
-          sst.write_local_i64(f_prop_guard_, view_.epoch + 1);
-          post += sst.push_field(f_prop_guard_, everyone);
-          tracer_.record(id, trace::Stage::view_trim, engine_.now(), 0,
-                         trace::kNoSubgroup, trace::kNoSender, -1,
-                         view_.epoch + 1);
-        }
-      }
-      // 5. Everyone: acknowledge the current leader's proposal.
-      if (sst.read_i64(leader, f_prop_guard_) ==
-          static_cast<std::int64_t>(view_.epoch + 1)) {
-        ms.saw_proposal = true;
-      }
-    }
+                    for (net::NodeId peer : view_.members) {
+                      if (peer == id) continue;
+                      const std::int64_t seen = sst.read_i64(peer, f_hb_);
+                      if (seen != ms.last_hb[peer]) {
+                        ms.last_hb[peer] = seen;
+                        ms.last_change[peer] = now;
+                      } else if (now - ms.last_change[peer] >
+                                     cfg_.failure_timeout &&
+                                 !(ms.suspected_mask & bit(peer))) {
+                        ms.suspected_mask |= bit(peer);
+                        row_dirty = true;
+                      }
+                      if (!(ms.suspected_mask & bit(peer))) {
+                        const auto theirs = static_cast<std::uint64_t>(
+                                                sst.read_i64(peer, f_susp_)) &
+                                            member_mask;
+                        if ((theirs & ~ms.suspected_mask) != 0) {
+                          ms.suspected_mask |= theirs;
+                          row_dirty = true;
+                        }
+                      }
+                    }
+                    if (!row_dirty) return false;
+                    sst.write_local_i64(
+                        f_susp_, static_cast<std::int64_t>(ms.suspected_mask));
+                    ctx.plan.add(0, [this, id] {
+                      return member_sst_[id]->push_field(f_susp_, everyone_);
+                    });
+                    return true;
+                  }});
 
-    co_await engine_.sleep(post + cfg_.heartbeat_period +
-                           static_cast<sim::Nanos>(rng.below(2000)));
-  }
+  // 3. Wedge on any suspicion: freeze the data plane and publish frozen
+  // received_nums (data first, then the wedged_epoch guard). A transition
+  // predicate: fires on the rising edge of "some member is suspected";
+  // install_next_view() re-arms it for the next epoch.
+  preds.add(gid,
+            {"wedge", sst::PredicateClass::transition,
+             [this, id] { return mstate_[id].suspected_mask != 0; },
+             [this, id](sst::TriggerContext& ctx) {
+               MemberState& ms = mstate_[id];
+               if (ms.wedged) return false;
+               ms.wedged = true;
+               changing_ = true;
+               wedge_node(id);
+               ctx.plan.add(0, [this, id] {
+                 return member_sst_[id]->push(f_frozen_.front(),
+                                              f_frozen_.back(), everyone_);
+               });
+               member_sst_[id]->write_local_i64(f_wedged_epoch_,
+                                                view_.epoch + 1);
+               ctx.plan.add(0, [this, id] {
+                 return member_sst_[id]->push_field(f_wedged_epoch_,
+                                                    everyone_);
+               });
+               return true;
+             }});
+
+  // 4. Leader: once every survivor has wedged, publish the ragged trim.
+  preds.add(gid,
+            {"propose", sst::PredicateClass::recurrent,
+             [this, id] { return mstate_[id].wedged; },
+             [this, id](sst::TriggerContext& ctx) {
+               sst::Sst& sst = *member_sst_[id];
+               MemberState& ms = mstate_[id];
+               if (current_leader(ms.suspected_mask) != id) return false;
+               bool all_wedged = true;
+               for (net::NodeId peer : view_.members) {
+                 if (ms.suspected_mask & bit(peer)) continue;
+                 if (sst.read_i64(peer, f_wedged_epoch_) <
+                     static_cast<std::int64_t>(view_.epoch + 1)) {
+                   all_wedged = false;
+                   break;
+                 }
+               }
+               // Propose once every survivor is wedged — and *re-propose*
+               // when the suspicion set has grown past the published
+               // proposal (a second crash during the view change). Without
+               // the re-proposal the old proposal waits forever on a dead
+               // member's acknowledgment, and its trim may cover a node
+               // that died before freezing its counters.
+               const bool proposed =
+                   sst.read_i64(id, f_prop_guard_) ==
+                   static_cast<std::int64_t>(view_.epoch + 1);
+               const bool stale =
+                   proposed &&
+                   static_cast<std::uint64_t>(
+                       sst.read_i64(id, f_prop_failed_)) != ms.suspected_mask;
+               if (!all_wedged || (proposed && !stale)) return false;
+               for (std::size_t g = 0; g < num_subgroups_; ++g) {
+                 std::int64_t trim = INT64_MAX;
+                 for (net::NodeId peer : view_.members) {
+                   if (ms.suspected_mask & bit(peer)) continue;
+                   trim = std::min(trim, sst.read_i64(peer, f_frozen_[g]));
+                 }
+                 sst.write_local_i64(f_trim_[g], trim);
+               }
+               sst.write_local_i64(f_prop_epoch_, view_.epoch + 1);
+               sst.write_local_i64(
+                   f_prop_failed_,
+                   static_cast<std::int64_t>(ms.suspected_mask));
+               // Data before guard: both pushes are planned in this order,
+               // and the guard value is written locally before the plan is
+               // issued, so receivers still observe trim-then-guard.
+               ctx.plan.add(0, [this, id] {
+                 return member_sst_[id]->push(f_trim_.front(), f_prop_failed_,
+                                              everyone_);
+               });
+               sst.write_local_i64(f_prop_guard_, view_.epoch + 1);
+               ctx.plan.add(0, [this, id] {
+                 return member_sst_[id]->push_field(f_prop_guard_, everyone_);
+               });
+               tracer_.record(id, trace::Stage::view_trim, engine_.now(), 0,
+                              trace::kNoSubgroup, trace::kNoSender, -1,
+                              view_.epoch + 1);
+               return true;
+             }});
+
+  // 5. Everyone: acknowledge the current leader's proposal (a transition on
+  // "the proposal for the next epoch is visible"; re-armed at install).
+  preds.add(gid,
+            {"ack_proposal", sst::PredicateClass::transition,
+             [this, id] {
+               const MemberState& ms = mstate_[id];
+               if (!ms.wedged) return false;
+               const net::NodeId leader = current_leader(ms.suspected_mask);
+               return member_sst_[id]->read_i64(leader, f_prop_guard_) ==
+                      static_cast<std::int64_t>(view_.epoch + 1);
+             },
+             [this, id](sst::TriggerContext&) {
+               mstate_[id].saw_proposal = true;
+               return true;
+             }});
 }
 
 std::uint64_t ManagedGroup::all_suspicions() const {
@@ -344,51 +407,78 @@ net::NodeId ManagedGroup::current_leader(std::uint64_t suspected) const {
   return view_.members.front();
 }
 
-sim::Co<> ManagedGroup::coordinator_actor() {
+void ManagedGroup::setup_coordinator_predicates() {
   // The install barrier, coordinated centrally (see class comment): waits
   // until every survivor has observed the leader's proposal, then performs
-  // the trim delivery and installs the next view.
-  while (!stopped_) {
-    co_await engine_.sleep(cfg_.heartbeat_period);
-    if (!changing_) continue;
+  // the trim delivery and installs the next view. Paced at the heartbeat
+  // period, like the hand-rolled polling loop it replaces.
+  coord_preds_ = std::make_unique<sst::Predicates>(engine_);
+  sst::Predicates::SchedulerConfig cfg;
+  cfg.stopped = [this] { return stopped_; };
+  cfg.pace = [this](sim::Nanos) { return cfg_.heartbeat_period; };
+  coord_preds_->configure(std::move(cfg));
+  const auto gid = coord_preds_->add_group({});
 
-    const std::uint64_t suspected = all_suspicions();
-    if (suspected == 0) continue;
-    std::uint64_t member_mask = 0;
-    for (net::NodeId id : view_.members) member_mask |= bit(id);
-    if ((member_mask & ~suspected) == 0) {
-      // Every member is suspected: no leader can emerge and no primary
-      // partition exists (mutual suspicion under symmetric NIC stalls).
-      // Halt the group — Derecho's total-failure outcome — instead of
-      // wedging forever. Members' states are frozen where they wedged.
-      stopped_ = true;
-      continue;
-    }
-    const net::NodeId leader = current_leader(suspected);
-    if (!alive_[leader]) continue;  // leader crashed: suspicion will spread
-    sst::Sst& lsst = *member_sst_[leader];
-    if (lsst.read_i64(leader, f_prop_guard_) !=
-        static_cast<std::int64_t>(view_.epoch + 1)) {
-      continue;
-    }
-    const auto failed_mask =
-        static_cast<std::uint64_t>(lsst.read_i64(leader, f_prop_failed_));
-    bool all_saw = true;
-    for (net::NodeId id : view_.members) {
-      if (failed_mask & bit(id)) continue;
-      if (!mstate_[id].saw_proposal || !mstate_[id].wedged) {
-        all_saw = false;
-        break;
-      }
-    }
-    if (!all_saw) continue;
+  // Every member is suspected: no leader can emerge and no primary
+  // partition exists (mutual suspicion under symmetric NIC stalls). Halt
+  // the group — Derecho's total-failure outcome — instead of wedging
+  // forever. Members' states are frozen where they wedged.
+  coord_preds_->add(
+      gid, {"total_failure_halt", sst::PredicateClass::one_time,
+            [this] {
+              if (!changing_) return false;
+              const std::uint64_t suspected = all_suspicions();
+              if (suspected == 0) return false;
+              std::uint64_t member_mask = 0;
+              for (net::NodeId id : view_.members) member_mask |= bit(id);
+              return (member_mask & ~suspected) == 0;
+            },
+            [this](sst::TriggerContext&) {
+              stopped_ = true;
+              return true;
+            }});
 
-    std::vector<std::int64_t> trim(num_subgroups_);
-    for (std::size_t g = 0; g < num_subgroups_; ++g) {
-      trim[g] = lsst.read_i64(leader, f_trim_[g]);
-    }
-    install_next_view(failed_mask, trim);
-  }
+  install_pred_ = coord_preds_->add(
+      gid, {"install_barrier", sst::PredicateClass::one_time,
+            [this] {
+              if (stopped_ || !changing_) return false;
+              const std::uint64_t suspected = all_suspicions();
+              if (suspected == 0) return false;
+              std::uint64_t member_mask = 0;
+              for (net::NodeId id : view_.members) member_mask |= bit(id);
+              if ((member_mask & ~suspected) == 0) return false;
+              const net::NodeId leader = current_leader(suspected);
+              // Leader crashed: suspicion will spread, check next round.
+              if (!alive_[leader]) return false;
+              sst::Sst& lsst = *member_sst_[leader];
+              if (lsst.read_i64(leader, f_prop_guard_) !=
+                  static_cast<std::int64_t>(view_.epoch + 1)) {
+                return false;
+              }
+              const auto failed_mask = static_cast<std::uint64_t>(
+                  lsst.read_i64(leader, f_prop_failed_));
+              for (net::NodeId id : view_.members) {
+                if (failed_mask & bit(id)) continue;
+                if (!mstate_[id].saw_proposal || !mstate_[id].wedged) {
+                  return false;
+                }
+              }
+              return true;
+            },
+            [this](sst::TriggerContext&) {
+              // Re-read the winning proposal: the guard held in the
+              // condition, and nothing ran in between (same engine slot).
+              const net::NodeId leader = current_leader(all_suspicions());
+              sst::Sst& lsst = *member_sst_[leader];
+              const auto failed_mask = static_cast<std::uint64_t>(
+                  lsst.read_i64(leader, f_prop_failed_));
+              std::vector<std::int64_t> trim(num_subgroups_);
+              for (std::size_t g = 0; g < num_subgroups_; ++g) {
+                trim[g] = lsst.read_i64(leader, f_trim_[g]);
+              }
+              install_next_view(failed_mask, trim);
+              return true;
+            }});
 }
 
 void ManagedGroup::wedge_node(net::NodeId id) {
@@ -475,6 +565,15 @@ void ManagedGroup::install_next_view(std::uint64_t failed_mask,
       for (auto& e : sq.q) e.in_flight = false;
     }
   }
+
+  // Fresh epoch, fresh edges: reset the survivors' TRANSITION predicates
+  // (wedge, ack) so the next suspicion is a rising edge even if it is
+  // raised — e.g. by leave() — before the member's next evaluation round,
+  // and re-arm the ONE_TIME install barrier for the next transition.
+  for (net::NodeId id : view_.members) {
+    if (member_preds_[id]) member_preds_[id]->rearm_all();
+  }
+  if (coord_preds_) coord_preds_->rearm(install_pred_);
 
   epoch_cluster_->shutdown();
   retired_.push_back(std::move(epoch_cluster_));

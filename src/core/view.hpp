@@ -144,13 +144,23 @@ class ManagedGroup {
   struct MemberState {
     std::vector<std::int64_t> last_hb;        // last heartbeat value seen
     std::vector<sim::Nanos> last_change;      // when it changed
+    std::int64_t hb = 0;                      // own heartbeat counter
     std::uint64_t suspected_mask = 0;
     bool wedged = false;
     bool saw_proposal = false;
   };
 
-  sim::Co<> membership_actor(net::NodeId id);
-  sim::Co<> coordinator_actor();
+  /// Register one member's membership service on a paced sst::Predicates
+  /// scheduler: heartbeat + suspicion (RECURRENT), wedge and proposal-ack
+  /// (TRANSITION on the suspicion/proposal state), leader proposal
+  /// (RECURRENT, guarded). One round per heartbeat period; every round's
+  /// SST pushes are issued at the same virtual instant, in predicate order.
+  void setup_membership_predicates(net::NodeId id);
+  /// The install barrier as ONE_TIME predicates on its own paced scheduler
+  /// (see the class comment: coordinated centrally): a total-failure halt,
+  /// and the install trigger that fires once per epoch transition and is
+  /// re-armed by install_next_view().
+  void setup_coordinator_predicates();
   sim::Co<> pump_actor(net::NodeId id, std::size_t sg_index);
 
   void wedge_node(net::NodeId id);
@@ -184,6 +194,15 @@ class ManagedGroup {
   std::vector<sst::FieldId> f_frozen_;  // per subgroup
   std::vector<sst::FieldId> f_trim_;    // per subgroup (leader proposal)
   std::vector<MemberState> mstate_;
+
+  // Membership predicate schedulers (paced mode): one per member plus the
+  // central coordinator. Fixed over the group lifetime — epoch transitions
+  // re-arm the TRANSITION/ONE_TIME predicates instead of respawning.
+  std::vector<std::size_t> everyone_;       // SST ranks 0..nodes-1
+  std::vector<sim::Rng> membership_rng_;    // per-member pacing jitter
+  std::vector<std::unique_ptr<sst::Predicates>> member_preds_;
+  std::unique_ptr<sst::Predicates> coord_preds_;
+  sst::Predicates::PredId install_pred_ = 0;
 
   std::unique_ptr<Cluster> epoch_cluster_;
   std::vector<core::SubgroupId> epoch_subgroups_;  // index -> SubgroupId

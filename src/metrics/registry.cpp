@@ -27,11 +27,23 @@ void ClusterStats::finalize() {
       auto it = std::find_if(subgroups.begin(), subgroups.end(),
                              [&](const SubgroupStats& m) { return m.id == s.id; });
       if (it == subgroups.end()) {
-        subgroups.push_back(SubgroupStats{s.id, s.name, 0, 0});
+        subgroups.push_back(SubgroupStats{s.id, s.name, 0, 0, {}});
         it = subgroups.end() - 1;
       }
       it->messages_delivered += s.messages_delivered;
       it->predicate_cpu += s.predicate_cpu;
+      for (const PredicateStat& p : s.predicates) {
+        auto pit = std::find_if(
+            it->predicates.begin(), it->predicates.end(),
+            [&](const PredicateStat& m) { return m.name == p.name; });
+        if (pit == it->predicates.end()) {
+          it->predicates.push_back(PredicateStat{p.name, p.cls, 0, 0, 0});
+          pit = it->predicates.end() - 1;
+        }
+        pit->evals += p.evals;
+        pit->fires += p.fires;
+        pit->cpu += p.cpu;
+      }
     }
   }
   std::sort(subgroups.begin(), subgroups.end(),

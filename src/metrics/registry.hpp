@@ -9,12 +9,26 @@
 
 namespace spindle::metrics {
 
+/// One registered predicate's share of a subgroup's polling work (the
+/// sst::Predicates drill-down): how often the scheduler evaluated it, how
+/// often its trigger acted, and the simulated CPU its rounds charged.
+struct PredicateStat {
+  std::string name;  // e.g. "receive", "deliver"
+  std::string cls;   // monotonicity class: one_time | recurrent | transition
+  std::uint64_t evals = 0;
+  std::uint64_t fires = 0;
+  sim::Nanos cpu = 0;
+};
+
 /// Per-subgroup slice of a node's (or the cluster's) activity.
 struct SubgroupStats {
   std::uint32_t id = 0;
   std::string name;
   std::uint64_t messages_delivered = 0;
   sim::Nanos predicate_cpu = 0;
+  /// Per-predicate breakdown of predicate_cpu, merged over nodes by
+  /// predicate name (registration order of the first node preserved).
+  std::vector<PredicateStat> predicates;
 };
 
 /// One node's consistent counter snapshot: protocol counters with the NIC

@@ -78,9 +78,9 @@ Co<bool> Signal::wait_for(Nanos timeout) {
           engine.schedule_fn(engine.now() + timeout, [s = state] {
             if (!s->fired && s->handle) {
               s->timed_out = true;
-              auto h = s->handle;
+              auto waiter = s->handle;
               s->handle = nullptr;
-              h.resume();
+              waiter.resume();
             }
           });
     }

@@ -1,0 +1,218 @@
+#include "sst/predicates.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace spindle::sst {
+
+const char* to_string(PredicateClass c) {
+  switch (c) {
+    case PredicateClass::one_time:
+      return "one_time";
+    case PredicateClass::recurrent:
+      return "recurrent";
+    case PredicateClass::transition:
+      return "transition";
+  }
+  return "?";
+}
+
+sim::Nanos PostPlan::issue() {
+  // (lane, insertion) order: entries_ is already in insertion order, so a
+  // stable sort on the lane alone realizes the full ordering contract.
+  std::stable_sort(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.lane < b.lane; });
+  sim::Nanos post = 0;
+  for (Entry& e : entries_) post += e.fn();
+  entries_.clear();
+  return post;
+}
+
+Predicates::GroupId Predicates::add_group(GroupOptions opts) {
+  groups_.push_back(Group{std::move(opts), {}});
+  return groups_.size() - 1;
+}
+
+Predicates::PredId Predicates::add(GroupId g, PredicateOptions opts) {
+  assert(g < groups_.size());
+  assert(opts.fire && "a predicate needs a trigger body");
+  assert((opts.cls != PredicateClass::transition || opts.when) &&
+         "a transition predicate needs a condition to edge-detect");
+  Predicate p;
+  p.cls = opts.cls;
+  p.when = std::move(opts.when);
+  p.fire = std::move(opts.fire);
+  p.stats.name = std::move(opts.name);
+  p.stats.cls = p.cls;
+  preds_.push_back(std::move(p));
+  const PredId id = preds_.size() - 1;
+  groups_[g].preds.push_back(id);
+  return id;
+}
+
+void Predicates::rearm(PredId p) {
+  assert(p < preds_.size());
+  preds_[p].done = false;
+  preds_[p].edge = false;
+}
+
+void Predicates::rearm_all() {
+  for (Predicate& p : preds_) {
+    p.done = false;
+    p.edge = false;
+  }
+}
+
+void Predicates::visit(const std::function<void(const GroupOptions&,
+                                                const PredicateStats&)>& fn)
+    const {
+  for (const Group& g : groups_) {
+    for (PredId id : g.preds) fn(g.opts, preds_[id].stats);
+  }
+}
+
+/// One evaluation round over a group's predicates. Runs under the group's
+/// lock (the scheduler holds it); pure compute — simulated CPU accumulates
+/// in `work`, deferred RDMA in `plan`. Returns true iff any trigger acted.
+bool Predicates::eval_group(Group& g, sim::Nanos& work, PostPlan& plan) {
+  if (g.opts.enabled && !g.opts.enabled()) return false;
+  bool any = false;
+  for (PredId id : g.preds) {
+    Predicate& p = preds_[id];
+    if (p.done) continue;  // one_time already fired this arming
+    ++p.stats.evals;
+    if (p.when) {
+      const bool holds = p.when();
+      if (p.cls == PredicateClass::transition) {
+        const bool rising = holds && !p.edge;
+        p.edge = holds;
+        if (!rising) continue;
+      } else if (!holds) {
+        continue;
+      }
+    }
+    // Mark one_time done *before* the trigger runs, so a trigger that calls
+    // rearm() on itself (epoch-scoped predicates re-arming at install) is
+    // not immediately clobbered afterwards.
+    if (p.cls == PredicateClass::one_time) p.done = true;
+    const sim::Nanos before = work;
+    TriggerContext ctx{work, plan};
+    const bool acted = p.fire(ctx);
+    p.stats.cpu += work - before;  // guard costs accrue even on quiet rounds
+    if (acted) {
+      ++p.stats.fires;
+      any = true;
+      if (cfg_.on_predicate_fire) {
+        cfg_.on_predicate_fire(g.opts, p.stats, id, before, work);
+      }
+    } else if (p.cls == PredicateClass::one_time && p.done) {
+      p.done = false;  // guard held but the trigger declined: stay armed
+    }
+  }
+  return any;
+}
+
+sim::Co<> Predicates::run() {
+  assert(cfg_.stopped && "configure() the scheduler before run()");
+  if (cfg_.pace) return run_paced();
+  return run_reactive();
+}
+
+/// The data-plane discipline: the dedicated polling thread of §2.4, with
+/// §3.4's lock staging and the doorbell-backed quiescent backoff.
+sim::Co<> Predicates::run_reactive() {
+  int idle_streak = 0;
+  while (!cfg_.stopped()) {
+    if (cfg_.stall_until) {
+      const sim::Nanos until = cfg_.stall_until();
+      if (until > engine_.now()) {
+        // Slow host (fault injection): the polling thread is descheduled.
+        co_await engine_.sleep(until - engine_.now());
+        continue;
+      }
+    }
+    bool progress = false;
+    sim::Nanos carry = 0;  // eval cost of quiet groups, slept once per round
+
+    for (Group& g : groups_) {
+      if (cfg_.stopped()) break;
+      if (g.opts.lock) co_await g.opts.lock->lock();
+      plan_.clear();
+      sim::Nanos work = 0;
+      const bool acted = eval_group(g, work, plan_);
+      if (g.opts.on_work) g.opts.on_work(work);
+      if (!acted && plan_.empty()) {
+        carry += work;
+        if (g.opts.lock) g.opts.lock->unlock();
+        continue;
+      }
+      progress = true;
+      if (g.opts.on_fire) g.opts.on_fire(work);
+      co_await engine_.sleep(work + carry);
+      carry = 0;
+      if (g.opts.lock && g.opts.early_release) g.opts.lock->unlock();
+      const std::uint64_t arg = plan_.arg();
+      const sim::Nanos post = plan_.issue();
+      if (post > 0) {
+        if (g.opts.on_post) g.opts.on_post(post, arg);
+        co_await engine_.sleep(post);
+      }
+      if (g.opts.lock && !g.opts.early_release) g.opts.lock->unlock();
+    }
+    if (cfg_.stopped()) break;
+
+    sim::Nanos over = carry;
+    if (cfg_.iteration_pause) over += cfg_.iteration_pause();
+    co_await engine_.sleep(over);
+
+    if (progress) {
+      idle_streak = 0;
+    } else if (++idle_streak >= cfg_.idle_streak_threshold) {
+      // Quiescent backoff; the fabric doorbell cuts the wait short when a
+      // remote write lands (§2.4's doorbell wake-up).
+      const int shift = std::min(idle_streak - cfg_.idle_streak_threshold,
+                                 cfg_.idle_backoff_max_shift);
+      const sim::Nanos backoff =
+          std::min(cfg_.idle_backoff_min << shift, cfg_.idle_backoff_max);
+      if (cfg_.doorbell != nullptr) {
+        co_await cfg_.doorbell->wait_for(backoff);
+      } else {
+        co_await engine_.sleep(backoff);
+      }
+    }
+  }
+}
+
+/// The membership-service discipline: every round evaluates all groups and
+/// issues their plans at the same virtual instant (heartbeats, suspicion
+/// pushes, proposal pushes land together, exactly as the hand-rolled actor
+/// posted them inline), then sleeps pace(post) — e.g. post cost +
+/// heartbeat_period + jitter.
+sim::Co<> Predicates::run_paced() {
+  while (!cfg_.stopped()) {
+    if (cfg_.stall_until) {
+      const sim::Nanos until = cfg_.stall_until();
+      if (until > engine_.now()) {
+        co_await engine_.sleep(until - engine_.now());
+        continue;
+      }
+    }
+    sim::Nanos post_total = 0;
+    for (Group& g : groups_) {
+      if (cfg_.stopped()) break;
+      if (g.opts.lock) co_await g.opts.lock->lock();
+      plan_.clear();
+      sim::Nanos work = 0;
+      const bool acted = eval_group(g, work, plan_);
+      if (g.opts.on_work) g.opts.on_work(work);
+      if (acted && g.opts.on_fire) g.opts.on_fire(work);
+      post_total += plan_.issue();
+      if (g.opts.lock) g.opts.lock->unlock();
+    }
+    if (cfg_.stopped()) break;
+    co_await engine_.sleep(cfg_.pace(post_total));
+  }
+}
+
+}  // namespace spindle::sst

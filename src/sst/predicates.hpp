@@ -1,0 +1,215 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/mutex.hpp"
+
+namespace spindle::sst {
+
+/// Monotonicity class of a registered predicate (Derecho TOCS §4):
+///
+///  - `one_time`:   fires at most once, then deregisters itself from
+///                  evaluation. rearm() re-enables it (e.g. once per epoch).
+///  - `recurrent`:  evaluated every round; fires whenever it holds. The
+///                  data-plane stage predicates (receive / send / deliver)
+///                  are recurrent over monotonic SST state.
+///  - `transition`: fires on the false->true *edge* of its condition — the
+///                  "monotonic deducibility" events of the membership layer
+///                  (a peer became suspected, a proposal became visible).
+enum class PredicateClass : std::uint8_t { one_time, recurrent, transition };
+
+const char* to_string(PredicateClass c);
+
+/// The deferred RDMA phase of a trigger, generalizing §3.4's early lock
+/// release: the under-lock compute phase *describes* its pushes by appending
+/// actions, and the scheduler issues them after the lock is (optionally
+/// early-) released. Actions re-read live, monotonic state at issue time —
+/// exactly the safety argument the paper makes for posting outside the lock.
+///
+/// Actions issue in (lane, insertion) order. Lanes pin protocol ordering
+/// requirements across predicates — e.g. ring data+trailer writes before the
+/// counter pushes that acknowledge them — independent of which trigger
+/// appended which action first.
+class PostPlan {
+ public:
+  /// An RDMA push: posts its writes and returns the CPU post cost to charge.
+  using Action = std::function<sim::Nanos()>;
+
+  void add(int lane, Action fn) {
+    entries_.push_back(Entry{lane, std::move(fn)});
+  }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t actions() const noexcept { return entries_.size(); }
+  void clear() noexcept {
+    entries_.clear();
+    arg_ = 0;
+  }
+
+  /// Stage-specific annotation surfaced to the on_post hook (the data plane
+  /// stores the ring-message count of the send batch, for trace spans).
+  void set_arg(std::uint64_t a) noexcept { arg_ = a; }
+  std::uint64_t arg() const noexcept { return arg_; }
+
+  /// Issue every action in (lane, insertion) order; returns the summed CPU
+  /// post cost the caller must sleep.
+  sim::Nanos issue();
+
+ private:
+  struct Entry {
+    int lane;
+    Action fn;
+  };
+  std::vector<Entry> entries_;
+  std::uint64_t arg_ = 0;
+};
+
+/// Handed to a trigger's under-lock compute phase: simulated CPU accumulates
+/// in `work` (slept by the scheduler *before* the RDMA phase), deferred
+/// pushes in `plan`.
+struct TriggerContext {
+  sim::Nanos& work;
+  PostPlan& plan;
+};
+
+/// Per-predicate accounting (the §4.1.3 active-time breakdown, extended
+/// from per-subgroup to per-stage).
+struct PredicateStats {
+  std::string name;
+  PredicateClass cls = PredicateClass::recurrent;
+  std::uint64_t evals = 0;  // scheduler rounds that considered it
+  std::uint64_t fires = 0;  // rounds its trigger ran and acted
+  sim::Nanos cpu = 0;       // simulated CPU charged by its compute phase
+};
+
+/// Registry + scheduler for SST predicates: the subsystem Derecho builds its
+/// whole protocol stack on, extracted here as a first-class framework.
+///
+/// Predicates are registered into *groups*; a group is the unit of one lock
+/// acquisition and one two-phase (compute, then RDMA) round. The scheduler
+/// coroutine evaluates groups round-robin. Two pacing disciplines:
+///
+///  - reactive (the data-plane polling thread): busy rounds charge their
+///    compute cost under the lock, release (early, per §3.4, when the group
+///    opts in), issue the merged PostPlan, and sleep the post cost; quiet
+///    rounds carry their eval cost forward and back off onto the fabric
+///    doorbell after an idle streak.
+///  - paced (`SchedulerConfig::pace` set — the membership service): every
+///    round evaluates all groups, issues all plans at the same virtual
+///    instant, and sleeps pace(post) — e.g. post + heartbeat_period + jitter.
+class Predicates {
+ public:
+  using GroupId = std::size_t;
+  using PredId = std::size_t;
+
+  using Condition = std::function<bool()>;
+  /// Under-lock compute phase. Returns true when the trigger *acted* (made
+  /// protocol progress); quiet evaluations still charge ctx.work.
+  using Trigger = std::function<bool(TriggerContext&)>;
+
+  struct GroupOptions {
+    std::string name;
+    std::uint32_t tag = 0;      // owner id (e.g. subgroup id) for hooks
+    sim::Mutex* lock = nullptr; // nullptr: lock-free group (membership SST)
+    bool early_release = false; // §3.4: unlock before the RDMA phase
+    /// Checked under the lock; a disabled group (e.g. a wedged subgroup)
+    /// contributes no work, no plan, no fires.
+    std::function<bool()> enabled;
+    /// Called after every evaluation with the round's compute cost (CPU
+    /// accounting — fires and quiet rounds alike).
+    std::function<void(sim::Nanos work)> on_work;
+    /// Called when the round acted, before the compute-cost sleep (the
+    /// per-group `predicate` trace span).
+    std::function<void(sim::Nanos work)> on_fire;
+    /// Called when the round's plan posted RDMA writes (cost > 0), with the
+    /// plan's annotation (the `rdma_post` trace span).
+    std::function<void(sim::Nanos post, std::uint64_t arg)> on_post;
+  };
+
+  struct PredicateOptions {
+    std::string name;
+    PredicateClass cls = PredicateClass::recurrent;
+    /// Optional guard. When absent the trigger self-guards (stage triggers
+    /// whose guard evaluation *is* simulated work keep exact CPU accounting
+    /// by charging it inside the trigger).
+    Condition when;
+    Trigger fire;
+  };
+
+  struct SchedulerConfig {
+    std::function<bool()> stopped;            // required
+    std::function<sim::Nanos()> stall_until;  // fault injection: slow host
+    // Reactive mode:
+    /// Per-round fixed cost (iteration overhead + jitter + hiccups).
+    std::function<sim::Nanos()> iteration_pause;
+    sim::Signal* doorbell = nullptr;
+    sim::Nanos idle_backoff_min = 0;
+    sim::Nanos idle_backoff_max = 0;
+    int idle_streak_threshold = 3;
+    int idle_backoff_max_shift = 8;
+    // Paced mode (set => paced): virtual time to sleep after a round that
+    // posted `post` worth of RDMA CPU.
+    std::function<sim::Nanos(sim::Nanos post)> pace;
+    /// Observability: a predicate's trigger acted, charging
+    /// [work_before, work_now) of the group's compute span.
+    std::function<void(const GroupOptions& group, const PredicateStats& pred,
+                       std::size_t pred_ordinal, sim::Nanos work_before,
+                       sim::Nanos work_now)>
+        on_predicate_fire;
+  };
+
+  explicit Predicates(sim::Engine& engine) : engine_(engine) {}
+  Predicates(const Predicates&) = delete;
+  Predicates& operator=(const Predicates&) = delete;
+
+  void configure(SchedulerConfig cfg) { cfg_ = std::move(cfg); }
+
+  GroupId add_group(GroupOptions opts);
+  PredId add(GroupId g, PredicateOptions opts);
+
+  /// The scheduler coroutine; spawn exactly once on the engine. This object
+  /// must outlive the coroutine (same discipline as any simulated thread).
+  sim::Co<> run();
+
+  /// Re-enable a one_time predicate (and reset a transition edge) — e.g. at
+  /// view install, when the epoch-scoped membership predicates re-arm.
+  void rearm(PredId p);
+  void rearm_all();
+
+  std::size_t num_groups() const noexcept { return groups_.size(); }
+  std::size_t num_predicates() const noexcept { return preds_.size(); }
+  const PredicateStats& stats(PredId p) const { return preds_[p].stats; }
+
+  /// Visit every predicate with its group context (metrics collectors).
+  void visit(const std::function<void(const GroupOptions&,
+                                      const PredicateStats&)>& fn) const;
+
+ private:
+  struct Predicate {
+    PredicateClass cls;
+    Condition when;
+    Trigger fire;
+    PredicateStats stats;
+    bool edge = false;  // transition: last observed condition value
+    bool done = false;  // one_time: already fired
+  };
+  struct Group {
+    GroupOptions opts;
+    std::vector<PredId> preds;
+  };
+
+  bool eval_group(Group& g, sim::Nanos& work, PostPlan& plan);
+  sim::Co<> run_reactive();
+  sim::Co<> run_paced();
+
+  sim::Engine& engine_;
+  SchedulerConfig cfg_;
+  std::vector<Group> groups_;
+  std::vector<Predicate> preds_;
+  PostPlan plan_;  // reused across rounds; capacity reaches steady state
+};
+
+}  // namespace spindle::sst

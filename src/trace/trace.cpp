@@ -36,6 +36,8 @@ const char* to_string(Stage s) {
       return "view_install";
     case Stage::fault:
       return "fault";
+    case Stage::predicate_fire:
+      return "predicate_fire";
   }
   return "?";
 }

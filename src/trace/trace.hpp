@@ -26,9 +26,11 @@ enum class Stage : std::uint8_t {
   view_trim,       // leader published the ragged trim (arg = next epoch)
   view_install,    // new view installed (arg = new epoch)
   fault,           // fault-injection onset (arg = fault::FaultKind)
+  predicate_fire,  // one registered sst::Predicates trigger acted
+                   // (dur = its slice of the round's compute, arg = pred id)
 };
 
-inline constexpr std::size_t kNumStages = 15;
+inline constexpr std::size_t kNumStages = 16;
 const char* to_string(Stage s);
 
 inline constexpr std::uint32_t kNoSubgroup = UINT32_MAX;

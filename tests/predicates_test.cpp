@@ -1,0 +1,287 @@
+// Unit tests for the sst::Predicates framework (ctest -L predicate): the
+// PostPlan lane contract, the three monotonicity classes, re-arming,
+// per-predicate accounting, and the two scheduler disciplines. The
+// protocol-level behaviour lock (the ported data plane and view layer must
+// be bit-identical to the monolith) lives in determinism_lock_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/mutex.hpp"
+#include "sst/predicates.hpp"
+
+namespace spindle::sst {
+namespace {
+
+TEST(PostPlan, IssuesInLaneThenInsertionOrder) {
+  PostPlan plan;
+  std::vector<int> order;
+  plan.add(2, [&] { order.push_back(20); return sim::Nanos{5}; });
+  plan.add(0, [&] { order.push_back(1); return sim::Nanos{10}; });
+  plan.add(1, [&] { order.push_back(10); return sim::Nanos{20}; });
+  plan.add(0, [&] { order.push_back(2); return sim::Nanos{40}; });
+  EXPECT_EQ(plan.actions(), 4u);
+  const sim::Nanos post = plan.issue();
+  EXPECT_EQ(post, 75);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 10, 20}));
+  EXPECT_TRUE(plan.empty());  // issue() consumes the plan
+}
+
+TEST(PostPlan, ClearResetsArg) {
+  PostPlan plan;
+  plan.set_arg(42);
+  plan.add(0, [] { return sim::Nanos{1}; });
+  plan.clear();
+  EXPECT_EQ(plan.arg(), 0u);
+  EXPECT_TRUE(plan.empty());
+}
+
+/// Harness: one reactive scheduler, no lock, fixed per-round pause so the
+/// round cadence is easy to reason about in virtual time.
+struct Harness {
+  sim::Engine engine;
+  Predicates preds{engine};
+  bool stop = false;
+
+  explicit Harness(sim::Nanos pause = 100) {
+    Predicates::SchedulerConfig cfg;
+    cfg.stopped = [this] { return stop; };
+    cfg.iteration_pause = [pause] { return pause; };
+    cfg.idle_backoff_min = 1000;
+    cfg.idle_backoff_max = 8000;
+    preds.configure(std::move(cfg));
+  }
+  void run_for(sim::Nanos t) {
+    engine.spawn(preds.run());
+    engine.run_to(t);
+    stop = true;
+    engine.run();
+  }
+};
+
+TEST(Predicates, RecurrentFiresWheneverConditionHolds) {
+  Harness h;
+  const auto g = h.preds.add_group({});
+  int budget = 3;
+  const auto p = h.preds.add(
+      g, {"drain", PredicateClass::recurrent, [&] { return budget > 0; },
+          [&](TriggerContext& ctx) {
+            --budget;
+            ctx.work += 7;
+            return true;
+          }});
+  h.run_for(sim::micros(100));
+  EXPECT_EQ(budget, 0);
+  EXPECT_EQ(h.preds.stats(p).fires, 3u);
+  EXPECT_EQ(h.preds.stats(p).cpu, 21);
+  EXPECT_GT(h.preds.stats(p).evals, h.preds.stats(p).fires);
+}
+
+TEST(Predicates, OneTimeFiresOnceUntilRearmed) {
+  Harness h;
+  const auto g = h.preds.add_group({});
+  int fired = 0;
+  const auto p = h.preds.add(g, {"once", PredicateClass::one_time,
+                                 [] { return true; },
+                                 [&](TriggerContext&) {
+                                   ++fired;
+                                   return true;
+                                 }});
+  h.engine.spawn(h.preds.run());
+  h.engine.run_to(sim::micros(10));
+  EXPECT_EQ(fired, 1);
+  h.preds.rearm(p);
+  h.engine.run_to(sim::micros(20));
+  EXPECT_EQ(fired, 2);
+  h.stop = true;
+  h.engine.run();
+}
+
+TEST(Predicates, OneTimeStaysArmedWhenTriggerDeclines) {
+  Harness h;
+  const auto g = h.preds.add_group({});
+  int calls = 0;
+  h.preds.add(g, {"reluctant", PredicateClass::one_time, [] { return true; },
+                  [&](TriggerContext&) { return ++calls >= 3; }});
+  h.run_for(sim::micros(100));
+  // Declined twice (stayed armed), fired on the third call, then done.
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Predicates, OneTimeRearmDuringFireSurvives) {
+  Harness h;
+  const auto g = h.preds.add_group({});
+  int fired = 0;
+  Predicates::PredId self = 0;
+  self = h.preds.add(g, {"self_rearm", PredicateClass::one_time,
+                         [&] { return fired < 2; },
+                         [&](TriggerContext&) {
+                           ++fired;
+                           h.preds.rearm(self);  // epoch-style re-arm
+                           return true;
+                         }});
+  h.run_for(sim::micros(100));
+  EXPECT_EQ(fired, 2);  // re-armed itself once, then the guard went false
+}
+
+TEST(Predicates, TransitionFiresOnRisingEdgeOnly) {
+  Harness h;
+  const auto g = h.preds.add_group({});
+  bool level = false;
+  int fired = 0;
+  h.preds.add(g, {"edge", PredicateClass::transition, [&] { return level; },
+                  [&](TriggerContext&) {
+                    ++fired;
+                    return true;
+                  }});
+  h.engine.spawn(h.preds.run());
+  h.engine.run_to(sim::micros(5));
+  EXPECT_EQ(fired, 0);
+  level = true;  // rising edge: one fire, then level stays high
+  h.engine.run_to(sim::micros(10));
+  EXPECT_EQ(fired, 1);
+  h.engine.run_to(sim::micros(15));
+  EXPECT_EQ(fired, 1);
+  level = false;  // falling edge re-arms
+  h.engine.run_to(sim::micros(20));
+  level = true;
+  h.engine.run_to(sim::micros(25));
+  EXPECT_EQ(fired, 2);
+  h.stop = true;
+  h.engine.run();
+}
+
+TEST(Predicates, DisabledGroupContributesNothing) {
+  Harness h;
+  bool enabled = false;
+  Predicates::GroupOptions g;
+  g.enabled = [&] { return enabled; };
+  const auto gid = h.preds.add_group(std::move(g));
+  const auto p = h.preds.add(gid, {"gated", PredicateClass::recurrent,
+                                   nullptr, [&](TriggerContext& ctx) {
+                                     ctx.work += 5;
+                                     return true;
+                                   }});
+  h.engine.spawn(h.preds.run());
+  h.engine.run_to(sim::micros(5));
+  EXPECT_EQ(h.preds.stats(p).evals, 0u);
+  EXPECT_EQ(h.preds.stats(p).cpu, 0);
+  enabled = true;
+  h.engine.run_to(sim::micros(10));
+  EXPECT_GT(h.preds.stats(p).fires, 0u);
+  h.stop = true;
+  h.engine.run();
+}
+
+TEST(Predicates, ReactiveRoundSleepsComputeThenPost) {
+  // One firing round: the trigger charges 30ns compute and plans a 50ns
+  // post. The scheduler must sleep the compute cost before issuing the plan
+  // and the post cost after, so the post lands at round_start + 30.
+  Harness h(/*pause=*/0);
+  const auto g = h.preds.add_group({});
+  bool once = false;
+  sim::Nanos posted_at = -1;
+  h.preds.add(g, {"timed", PredicateClass::recurrent, [&] { return !once; },
+                  [&](TriggerContext& ctx) {
+                    once = true;
+                    ctx.work += 30;
+                    ctx.plan.add(0, [&] {
+                      posted_at = h.engine.now();
+                      return sim::Nanos{50};
+                    });
+                    return true;
+                  }});
+  h.engine.spawn(h.preds.run());
+  h.engine.run_to(sim::micros(1));
+  EXPECT_EQ(posted_at, 30);
+  h.stop = true;
+  h.engine.run();
+}
+
+TEST(Predicates, ReactiveEarlyReleaseUnlocksBeforePost) {
+  sim::Engine engine;
+  sim::Mutex mutex(engine);
+  Predicates preds(engine);
+  bool stop = false;
+  Predicates::SchedulerConfig cfg;
+  cfg.stopped = [&] { return stop; };
+  cfg.iteration_pause = [] { return sim::Nanos{10}; };
+  preds.configure(std::move(cfg));
+
+  Predicates::GroupOptions g;
+  g.lock = &mutex;
+  g.early_release = true;
+  const auto gid = preds.add_group(std::move(g));
+  bool once = false;
+  bool locked_during_post = true;
+  preds.add(gid, {"early", PredicateClass::recurrent, [&] { return !once; },
+                  [&](TriggerContext& ctx) {
+                    once = true;
+                    ctx.work += 5;
+                    ctx.plan.add(0, [&] {
+                      locked_during_post = mutex.locked();
+                      return sim::Nanos{5};
+                    });
+                    return true;
+                  }});
+  engine.spawn(preds.run());
+  engine.run_to(sim::micros(1));
+  EXPECT_FALSE(locked_during_post) << "§3.4: post must run after unlock";
+  stop = true;
+  engine.run();
+}
+
+TEST(Predicates, PacedModeEvaluatesOnACadence) {
+  sim::Engine engine;
+  Predicates preds(engine);
+  bool stop = false;
+  std::vector<sim::Nanos> rounds;
+  Predicates::SchedulerConfig cfg;
+  cfg.stopped = [&] { return stop; };
+  cfg.pace = [](sim::Nanos post) { return post + 1000; };
+  preds.configure(std::move(cfg));
+  const auto g = preds.add_group({});
+  preds.add(g, {"tick", PredicateClass::recurrent, nullptr,
+                [&](TriggerContext& ctx) {
+                  rounds.push_back(engine.now());
+                  ctx.plan.add(0, [] { return sim::Nanos{100}; });
+                  return true;
+                }});
+  engine.spawn(preds.run());
+  engine.run_to(3500);
+  stop = true;
+  engine.run();
+  // Rounds at 0, 1100, 2200, 3300: each sleeps post(100) + 1000.
+  ASSERT_GE(rounds.size(), 4u);
+  EXPECT_EQ(rounds[0], 0);
+  EXPECT_EQ(rounds[1], 1100);
+  EXPECT_EQ(rounds[2], 2200);
+  EXPECT_EQ(rounds[3], 3300);
+}
+
+TEST(Predicates, VisitExposesGroupTagAndStats) {
+  Harness h;
+  Predicates::GroupOptions g;
+  g.name = "sg0";
+  g.tag = 7;
+  const auto gid = h.preds.add_group(std::move(g));
+  h.preds.add(gid, {"stage", PredicateClass::recurrent, [] { return false; },
+                    [](TriggerContext&) { return true; }});
+  h.run_for(sim::micros(10));
+  std::size_t visited = 0;
+  h.preds.visit([&](const Predicates::GroupOptions& go,
+                    const PredicateStats& ps) {
+    ++visited;
+    EXPECT_EQ(go.tag, 7u);
+    EXPECT_EQ(ps.name, "stage");
+    EXPECT_EQ(ps.cls, PredicateClass::recurrent);
+    EXPECT_GT(ps.evals, 0u);
+    EXPECT_EQ(ps.fires, 0u);
+  });
+  EXPECT_EQ(visited, 1u);
+}
+
+}  // namespace
+}  // namespace spindle::sst
