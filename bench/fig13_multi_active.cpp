@@ -7,11 +7,32 @@
 // posting writes for the different subgroups); efficient thread
 // synchronization resolves most of that, giving excellent scaling that
 // remains stable across subgroup counts.
+//
+// Second sweep (the scheduling-discipline study): 1 *hot* subgroup plus k
+// *cold* ones that never send. Under strict round-robin the polling thread
+// pays a full lap of cold-group evaluations per round, so the hot group's
+// delivery rate decays with k; under `drr` the cold groups demote to the
+// low-frequency scan lane after a few quiet rounds and the hot group keeps
+// nearly all of the polling-thread CPU. Results (both disciplines, with
+// seed/env provenance) go to BENCH_fig13_multi_active.json.
 
 #include "bench_util.hpp"
 
 using namespace spindle;
 using namespace spindle::bench;
+
+namespace {
+
+/// Sum of scan-lane demotions across the cold subgroups (hot is sg0).
+std::uint64_t cold_demotions(const ExperimentResult& r) {
+  std::uint64_t total = 0;
+  for (const auto& sg : r.stats.subgroups) {
+    if (sg.id != 0) total += sg.sched_demotions;
+  }
+  return total;
+}
+
+}  // namespace
 
 int main() {
   Table t("Figure 13: multiple active subgroups (16 nodes, 10KB, GB/s)",
@@ -43,5 +64,58 @@ int main() {
            k == 10 ? "stable scaling with all opts" : ""});
   }
   t.print();
+
+  // Scheduling-discipline sweep: 1 hot + k cold subgroups, strict-RR vs
+  // DRR. Small messages and a small window keep the hot pipeline
+  // round-time-gated (so the cold lap actually costs throughput) and the
+  // k=64 point within memory (every node maps a window of slots for every
+  // subgroup it belongs to). The 500us scan lane is ~20x a strict-RR
+  // round here — long enough that demoted groups are effectively free.
+  constexpr std::uint64_t kSeed = 42;
+  const std::size_t kMessages = scaled(200);
+  BenchReport report("fig13_multi_active");
+  report.set_provenance(kSeed, kMessages);
+
+  Table d("Figure 13b: 1 hot + k cold subgroups (16 nodes, 1KB, kmsg/s/node)",
+          {"cold subgroups", "strict_rr", "drr", "speedup",
+           "cold demotions"});
+  for (std::size_t k : {std::size_t{1}, std::size_t{4}, std::size_t{16},
+                        std::size_t{64}}) {
+    ExperimentConfig cfg;
+    cfg.nodes = 16;
+    cfg.senders = SenderPattern::all;
+    cfg.message_size = 1024;
+    cfg.opts = core::ProtocolOptions::spindle();
+    cfg.opts.max_msg_size = 1024;
+    cfg.opts.window_size = 8;
+    cfg.subgroups = 1 + k;
+    cfg.active_subgroups = 1;
+    cfg.active_weight = 4;
+    cfg.scan_interval = sim::micros(500);
+    cfg.messages_per_sender = kMessages;
+    cfg.seed = kSeed;
+
+    cfg.discipline = sst::Discipline::strict_rr;
+    auto rr = workload::run_experiment(cfg);
+
+    cfg.discipline = sst::Discipline::drr;
+    auto drr = workload::run_experiment(cfg);
+
+    const double speedup =
+        rr.delivery_rate_per_node > 0
+            ? drr.delivery_rate_per_node / rr.delivery_rate_per_node
+            : 0;
+    const std::string kk = std::to_string(k);
+    report.add_run("strict_rr/k=" + kk, rr);
+    report.add_run("drr/k=" + kk, drr);
+    report.add_metric("speedup_k" + kk, speedup);
+    d.row({Table::integer(k), Table::num(rr.delivery_rate_per_node / 1e3, 1),
+           Table::num(drr.delivery_rate_per_node / 1e3, 1),
+           Table::num(speedup, 2) + "x" + check_completed(rr) +
+               check_completed(drr),
+           Table::integer(cold_demotions(drr))});
+  }
+  d.print();
+  report.write();
   return 0;
 }

@@ -14,6 +14,11 @@ void ClusterConfig::validate() const {
         "ClusterConfig: trace.ring_capacity must be >= 1 when tracing is "
         "enabled");
   }
+  if (discipline == sst::Discipline::drr && scan_interval <= 0) {
+    throw std::invalid_argument(
+        "ClusterConfig: drr needs scan_interval >= 1ns (the cold-subgroup "
+        "probe bound)");
+  }
 }
 
 Cluster::Cluster(ClusterConfig cfg)
@@ -184,6 +189,13 @@ void Cluster::start() {
             if (g.tag != s->id) return;
             sub.predicates.push_back(metrics::PredicateStat{
                 p.name, sst::to_string(p.cls), p.evals, p.fires, p.cpu});
+          });
+          preds->visit_groups([&](const sst::Predicates::GroupOptions& g,
+                                  const sst::Predicates::GroupSched& sc) {
+            if (g.tag != s->id) return;
+            sub.sched_deficit += sc.deficit;
+            sub.sched_serviced += sc.serviced;
+            sub.sched_demotions += sc.demotions;
           });
         }
         ns.subgroups.push_back(std::move(sub));

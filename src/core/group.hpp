@@ -20,6 +20,14 @@ struct ClusterConfig {
   CpuModel cpu{};
   std::uint64_t seed = 1;
   trace::TraceConfig trace{};  // event tracing (off by default)
+  /// Predicate-scheduler service discipline for the data-plane polling
+  /// thread. `strict_rr` is the bit-compatible default; `drr` enables
+  /// deficit-weighted scheduling (hot subgroups stop paying a full lap of
+  /// cold evaluations per round — the Fig. 13 multi-active regime).
+  sst::Discipline discipline = sst::Discipline::strict_rr;
+  /// DRR only: probe period for subgroups demoted onto the scan lane —
+  /// the latency bound for a cold subgroup's first message under load.
+  sim::Nanos scan_interval = sim::micros(25);
 
   /// Throws std::invalid_argument with a descriptive message if the
   /// configuration cannot form a cluster.

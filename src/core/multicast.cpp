@@ -58,6 +58,16 @@ void Node::setup_predicates() {
   cfg.doorbell = &cluster_.fabric().doorbell(id_);
   cfg.idle_backoff_min = cpu.idle_backoff_min;
   cfg.idle_backoff_max = cpu.idle_backoff_max;
+  cfg.discipline = cluster_.config().discipline;
+  if (cfg.discipline == sst::Discipline::drr) {
+    cfg.on_service = [this](const sst::Predicates::GroupOptions& g,
+                            sst::ServiceReason reason, std::int64_t deficit) {
+      cluster_.tracer().record(id_, trace::Stage::sched_service,
+                               cluster_.engine().now(), 0, g.tag,
+                               trace::kNoSender, deficit,
+                               static_cast<std::uint64_t>(reason));
+    };
+  }
   cfg.on_predicate_fire = [this](const sst::Predicates::GroupOptions& g,
                                  const sst::PredicateStats&,
                                  std::size_t ordinal, sim::Nanos before,
@@ -75,6 +85,8 @@ void Node::setup_predicates() {
     g.tag = s.id;
     g.lock = lock_.get();
     g.early_release = s.cfg.opts.early_lock_release;
+    g.weight = s.cfg.weight;
+    g.scan_interval = cluster_.config().scan_interval;
     // Wedged (view change in progress): the subgroup is completely frozen —
     // no sends, nulls, acknowledgments or deliveries. Every value this node
     // pushed before wedging is bounded by its frozen received_num, which is

@@ -53,6 +53,10 @@ struct SubgroupConfig {
   std::vector<net::NodeId> members;
   std::vector<net::NodeId> senders;  // subset of members, in delivery order
   ProtocolOptions opts;
+  /// DRR scheduling weight of this subgroup's predicate group (>= 1): a
+  /// weight-2 subgroup may charge twice the polling CPU of a weight-1 peer
+  /// over any contended interval. Ignored under strict-RR.
+  std::uint32_t weight = 1;
 
   /// Throws std::invalid_argument with a descriptive message if the
   /// configuration is not a valid subgroup of a cluster whose members are
@@ -187,6 +191,14 @@ class Node {
   void set_ssd_fault(sim::Nanos until, sim::Nanos extra) {
     ssd_fault_until_ = until;
     ssd_extra_latency_ = extra;
+  }
+  /// Fault injection: until virtual time `until`, every fire of the
+  /// data-plane predicate named `name` charges `extra` additional compute
+  /// (a slow trigger — lock contention, cache-hostile scan). No-op before
+  /// start().
+  void delay_predicate(const std::string& name, sim::Nanos until,
+                       sim::Nanos extra) {
+    if (preds_) preds_->inject_delay(name, until, extra);
   }
   /// View-change support: synchronously move every queued persist entry to
   /// the durable log and advance the local frontier. Survivors run this

@@ -41,6 +41,7 @@ ManagedGroup::ManagedGroup(Config cfg, SubgroupLayout layout)
   cpu_stall_until_.assign(cfg.nodes, 0);
   ssd_fault_until_.assign(cfg.nodes, 0);
   ssd_extra_latency_.assign(cfg.nodes, 0);
+  pred_delays_.assign(cfg.nodes, {});
 }
 
 ManagedGroup::~ManagedGroup() { shutdown(); }
@@ -106,6 +107,8 @@ void ManagedGroup::build_epoch_cluster() {
   cc.cpu = cfg_.cpu;
   cc.seed = cfg_.seed + view_.epoch + 1;
   cc.trace = cfg_.trace;
+  cc.discipline = cfg_.discipline;
+  cc.scan_interval = cfg_.scan_interval;
   epoch_cluster_ = std::make_unique<Cluster>(engine_, fabric_, cc,
                                              view_.members, &tracer_);
 
@@ -148,6 +151,11 @@ void ManagedGroup::build_epoch_cluster() {
     }
     if (ssd_fault_until_[id] > engine_.now()) {
       node.set_ssd_fault(ssd_fault_until_[id], ssd_extra_latency_[id]);
+    }
+    for (const PredDelay& d : pred_delays_[id]) {
+      if (d.until > engine_.now()) {
+        node.delay_predicate(d.name, d.until, d.extra);
+      }
     }
   }
   changing_ = false;
@@ -227,7 +235,15 @@ void ManagedGroup::setup_membership_predicates(net::NodeId id) {
   };
   preds.configure(std::move(cfg));
 
-  const auto gid = preds.add_group({});  // lock-free: membership SST only
+  // Lock-free (membership SST only). The control plane outranks any data
+  // subgroup: give it a high DRR weight and exempt it from scan-lane
+  // demotion (paced scheduling ignores both today, but the registry is the
+  // single source of truth for group scheduling parameters).
+  sst::Predicates::GroupOptions gopts;
+  gopts.name = "membership";
+  gopts.weight = 4;
+  gopts.scan_interval = 0;
+  const auto gid = preds.add_group(std::move(gopts));
 
   // 1. Heartbeat.
   preds.add(gid, {"heartbeat", sst::PredicateClass::recurrent, nullptr,
@@ -417,7 +433,10 @@ void ManagedGroup::setup_coordinator_predicates() {
   cfg.stopped = [this] { return stopped_; };
   cfg.pace = [this](sim::Nanos) { return cfg_.heartbeat_period; };
   coord_preds_->configure(std::move(cfg));
-  const auto gid = coord_preds_->add_group({});
+  sst::Predicates::GroupOptions gopts;
+  gopts.name = "coordinator";
+  gopts.weight = 4;  // control plane: outranks data subgroups under DRR
+  const auto gid = coord_preds_->add_group(std::move(gopts));
 
   // Every member is suspected: no leader can emerge and no primary
   // partition exists (mutual suspicion under symmetric NIC stalls). Halt
@@ -609,6 +628,22 @@ void ManagedGroup::degrade_ssd(net::NodeId node, sim::Nanos duration,
   ssd_extra_latency_[node] = extra;
   if (alive_[node] && epoch_cluster_ && epoch_cluster_->is_member(node)) {
     epoch_cluster_->node(node).set_ssd_fault(ssd_fault_until_[node], extra);
+  }
+}
+
+void ManagedGroup::delay_predicate(net::NodeId node, const std::string& name,
+                                   sim::Nanos duration, sim::Nanos extra) {
+  assert(node < cfg_.nodes);
+  const sim::Nanos until = engine_.now() + duration;
+  pred_delays_[node].push_back(PredDelay{name, until, extra});
+  // Membership registry (heartbeat/suspicion/...): persists across epochs.
+  if (member_preds_[node]) {
+    member_preds_[node]->inject_delay(name, until, extra);
+  }
+  // Data-plane registry of the current epoch cluster; build_epoch_cluster()
+  // reapplies still-open windows to future epochs.
+  if (alive_[node] && epoch_cluster_ && epoch_cluster_->is_member(node)) {
+    epoch_cluster_->node(node).delay_predicate(name, until, extra);
   }
 }
 

@@ -58,6 +58,11 @@ class ManagedGroup {
     sim::Nanos heartbeat_period = sim::micros(20);
     sim::Nanos failure_timeout = sim::micros(400);
     trace::TraceConfig trace{};  // one event stream spanning every epoch
+    /// Data-plane predicate-scheduler discipline for every epoch cluster
+    /// (membership predicates are paced and unaffected).
+    sst::Discipline discipline = sst::Discipline::strict_rr;
+    /// DRR only: scan-lane probe period for demoted subgroups.
+    sim::Nanos scan_interval = sim::micros(25);
   };
 
   ManagedGroup(Config cfg, SubgroupLayout layout);
@@ -114,6 +119,14 @@ class ManagedGroup {
   /// the window pays `extra` on top of the normal op latency. Stalls the
   /// node's persistence frontier, never delivery.
   void degrade_ssd(net::NodeId node, sim::Nanos duration, sim::Nanos extra);
+
+  /// Fault injection: for `duration`, every fire of the predicate named
+  /// `name` at `node` charges `extra` additional compute — on the
+  /// data-plane registry (receive/send/deliver/...) and the membership
+  /// registry (heartbeat/suspicion/...) alike; unknown names are inert.
+  /// The window outlives view changes (reapplied to each epoch cluster).
+  void delay_predicate(net::NodeId node, const std::string& name,
+                       sim::Nanos duration, sim::Nanos extra);
 
   /// Persistent subgroups: `node`'s accumulated on-disk log for subgroup
   /// `subgroup_index` across every epoch it was a member of. Flushed
@@ -220,6 +233,12 @@ class ManagedGroup {
   std::vector<sim::Nanos> cpu_stall_until_;
   std::vector<sim::Nanos> ssd_fault_until_;
   std::vector<sim::Nanos> ssd_extra_latency_;
+  struct PredDelay {
+    std::string name;
+    sim::Nanos until = 0;
+    sim::Nanos extra = 0;
+  };
+  std::vector<std::vector<PredDelay>> pred_delays_;  // per node
 
   // (node, sg_index) -> durable log accumulated across retired epochs.
   std::vector<std::vector<std::vector<std::vector<std::byte>>>> plog_;

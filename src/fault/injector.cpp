@@ -43,6 +43,9 @@ void FaultInjector::fire(const FaultEvent& e) {
     case FaultKind::ssd_fault:
       group_.degrade_ssd(e.node, e.duration, e.extra);
       break;
+    case FaultKind::predicate_delay:
+      group_.delay_predicate(e.node, e.pred, e.duration, e.extra);
+      break;
   }
 }
 

@@ -1,6 +1,7 @@
 #include "fault/plan.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <sstream>
 
 #include "sim/rng.hpp"
@@ -19,6 +20,8 @@ const char* to_string(FaultKind k) {
       return "slow_cpu";
     case FaultKind::ssd_fault:
       return "ssd_fault";
+    case FaultKind::predicate_delay:
+      return "predicate_delay";
   }
   return "?";
 }
@@ -41,6 +44,10 @@ std::string FaultEvent::to_string() const {
       break;
     case FaultKind::ssd_fault:
       os << " dur=" << duration << "ns extra=" << extra << "ns";
+      break;
+    case FaultKind::predicate_delay:
+      os << " pred=" << pred << " dur=" << duration << "ns extra=" << extra
+         << "ns";
       break;
   }
   return os.str();
@@ -101,7 +108,7 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomSpec& spec) {
     FaultEvent e;
     e.node = static_cast<net::NodeId>(rng.below(spec.nodes));
     e.at = draw_at();
-    switch (rng.below(4)) {
+    switch (rng.below(5)) {
       case 0:
         e.kind = FaultKind::nic_stall;
         // Mostly below the failure timeout (benign back-pressure), the
@@ -127,6 +134,20 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomSpec& spec) {
             rng.below(static_cast<std::uint64_t>(spec.failure_timeout)) +
             rng.below(static_cast<std::uint64_t>(spec.failure_timeout)));
         break;
+      case 3: {
+        // A slow trigger: every fire of one named predicate pays extra
+        // compute for the window. Data-plane and membership names both
+        // drawn — a delayed heartbeat/suspicion stresses failure
+        // detection, a delayed deliver/receive stresses the pipeline.
+        static constexpr const char* kTargets[] = {
+            "receive", "send", "deliver", "heartbeat", "suspicion"};
+        e.kind = FaultKind::predicate_delay;
+        e.pred = kTargets[rng.below(std::size(kTargets))];
+        e.duration = static_cast<sim::Nanos>(
+            rng.below(static_cast<std::uint64_t>(spec.horizon / 2)));
+        e.extra = static_cast<sim::Nanos>(500 + rng.below(20'000));
+        break;
+      }
       default:
         e.kind = FaultKind::ssd_fault;
         e.duration = static_cast<sim::Nanos>(

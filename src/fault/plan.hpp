@@ -18,6 +18,7 @@ enum class FaultKind : std::uint8_t {
   link_fault,  // one directed link: latency multiplier + jitter
   slow_cpu,    // deschedule the node's threads (slow host / GC pause)
   ssd_fault,   // persistence-flush latency spike at one node
+  predicate_delay,  // one named predicate's fires charge extra compute
 };
 
 const char* to_string(FaultKind k);
@@ -30,7 +31,8 @@ struct FaultEvent {
   sim::Nanos duration = 0;    // transient faults: window length (crash: n/a)
   double factor = 1.0;        // link_fault: latency multiplier
   sim::Nanos jitter = 0;      // link_fault: uniform extra latency bound
-  sim::Nanos extra = 0;       // ssd_fault: added per-op flush latency
+  sim::Nanos extra = 0;       // ssd_fault / predicate_delay: added latency
+  std::string pred;           // predicate_delay: target predicate name
 
   std::string to_string() const;
 };

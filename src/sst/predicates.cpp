@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace spindle::sst {
 
@@ -13,6 +14,28 @@ const char* to_string(PredicateClass c) {
       return "recurrent";
     case PredicateClass::transition:
       return "transition";
+  }
+  return "?";
+}
+
+const char* to_string(Discipline d) {
+  switch (d) {
+    case Discipline::strict_rr:
+      return "strict_rr";
+    case Discipline::drr:
+      return "drr";
+  }
+  return "?";
+}
+
+const char* to_string(ServiceReason r) {
+  switch (r) {
+    case ServiceReason::credit:
+      return "credit";
+    case ServiceReason::conserve:
+      return "conserve";
+    case ServiceReason::scan:
+      return "scan";
   }
   return "?";
 }
@@ -30,7 +53,7 @@ sim::Nanos PostPlan::issue() {
 }
 
 Predicates::GroupId Predicates::add_group(GroupOptions opts) {
-  groups_.push_back(Group{std::move(opts), {}});
+  groups_.push_back(Group{std::move(opts), {}, {}});
   return groups_.size() - 1;
 }
 
@@ -55,6 +78,7 @@ void Predicates::rearm(PredId p) {
   assert(p < preds_.size());
   preds_[p].done = false;
   preds_[p].edge = false;
+  kick();
 }
 
 void Predicates::rearm_all() {
@@ -62,6 +86,34 @@ void Predicates::rearm_all() {
     p.done = false;
     p.edge = false;
   }
+  kick();
+}
+
+/// A rearm made dormant predicates live again: cut an in-flight idle-backoff
+/// sleep short (the scheduler waits on the doorbell) and bump the rearm
+/// generation so the next round resets its idle streak / promotes demoted
+/// groups instead of waiting out the remaining backoff.
+void Predicates::kick() {
+  ++rearm_generation_;
+  if (cfg_.doorbell != nullptr) cfg_.doorbell->signal();
+}
+
+void Predicates::inject_delay(std::string name, sim::Nanos until,
+                              sim::Nanos extra) {
+  const sim::Nanos now = engine_.now();
+  std::erase_if(delays_, [&](const DelayWindow& w) { return w.until <= now; });
+  delays_.push_back(DelayWindow{std::move(name), until, extra});
+}
+
+/// Summed extra compute for a fire of predicate `name` right now (stacked
+/// over any active injected windows).
+sim::Nanos Predicates::fire_delay(const std::string& name) {
+  const sim::Nanos now = engine_.now();
+  sim::Nanos extra = 0;
+  for (const DelayWindow& w : delays_) {
+    if (now < w.until && w.name == name) extra += w.extra;
+  }
+  return extra;
 }
 
 void Predicates::visit(const std::function<void(const GroupOptions&,
@@ -70,6 +122,12 @@ void Predicates::visit(const std::function<void(const GroupOptions&,
   for (const Group& g : groups_) {
     for (PredId id : g.preds) fn(g.opts, preds_[id].stats);
   }
+}
+
+void Predicates::visit_groups(
+    const std::function<void(const GroupOptions&, const GroupSched&)>& fn)
+    const {
+  for (const Group& g : groups_) fn(g.opts, g.sched);
 }
 
 /// One evaluation round over a group's predicates. Runs under the group's
@@ -99,6 +157,10 @@ bool Predicates::eval_group(Group& g, sim::Nanos& work, PostPlan& plan) {
     const sim::Nanos before = work;
     TriggerContext ctx{work, plan};
     const bool acted = p.fire(ctx);
+    // Per-predicate fault injection: a delayed predicate's fires charge
+    // extra compute, pushing its post phase (and everything downstream)
+    // later in virtual time.
+    if (acted && !delays_.empty()) work += fire_delay(p.stats.name);
     p.stats.cpu += work - before;  // guard costs accrue even on quiet rounds
     if (acted) {
       ++p.stats.fires;
@@ -116,6 +178,7 @@ bool Predicates::eval_group(Group& g, sim::Nanos& work, PostPlan& plan) {
 sim::Co<> Predicates::run() {
   assert(cfg_.stopped && "configure() the scheduler before run()");
   if (cfg_.pace) return run_paced();
+  if (cfg_.discipline == Discipline::drr) return run_drr();
   return run_reactive();
 }
 
@@ -123,6 +186,7 @@ sim::Co<> Predicates::run() {
 /// §3.4's lock staging and the doorbell-backed quiescent backoff.
 sim::Co<> Predicates::run_reactive() {
   int idle_streak = 0;
+  std::uint64_t rearm_seen = rearm_generation_;
   while (!cfg_.stopped()) {
     if (cfg_.stall_until) {
       const sim::Nanos until = cfg_.stall_until();
@@ -131,6 +195,13 @@ sim::Co<> Predicates::run_reactive() {
         co_await engine_.sleep(until - engine_.now());
         continue;
       }
+    }
+    if (rearm_generation_ != rearm_seen) {
+      // A rearm landed (view install): the doorbell kick already cut any
+      // in-flight backoff short; also drop the streak so the re-armed
+      // predicates get full-rate rounds again.
+      rearm_seen = rearm_generation_;
+      idle_streak = 0;
     }
     bool progress = false;
     sim::Nanos carry = 0;  // eval cost of quiet groups, slept once per round
@@ -177,6 +248,232 @@ sim::Co<> Predicates::run_reactive() {
           std::min(cfg_.idle_backoff_min << shift, cfg_.idle_backoff_max);
       if (cfg_.doorbell != nullptr) {
         co_await cfg_.doorbell->wait_for(backoff);
+      } else {
+        co_await engine_.sleep(backoff);
+      }
+    }
+  }
+}
+
+/// Grant `rounds` rounds of credit, capped so an idle-but-polled group
+/// cannot bank unbounded CPU against its busy peers.
+void Predicates::credit_group(Group& g, std::int64_t rounds) {
+  const std::int64_t per_round =
+      static_cast<std::int64_t>(g.opts.weight) * cfg_.drr_quantum;
+  const std::int64_t cap = per_round * cfg_.drr_deficit_cap_rounds;
+  g.sched.deficit = std::min(g.sched.deficit + rounds * per_round, cap);
+}
+
+/// Pull every demoted group off the scan lane (a rearm made dormant
+/// predicates live again). Debt is forgiven: a promotion is a fresh start,
+/// not a backlog to repay.
+void Predicates::promote_all() {
+  for (Group& g : groups_) {
+    GroupSched& sc = g.sched;
+    if (!sc.demoted) continue;
+    sc.demoted = false;
+    sc.quiet_streak = 0;
+    if (sc.deficit < 0) sc.deficit = 0;
+  }
+}
+
+/// Deficit-weighted round-robin: the reactive discipline for many-subgroup
+/// nodes (the paper's Fig. 13 regime). Mechanics per round:
+///
+///  1. every active group banks weight x quantum of credit (capped);
+///  2. if *every* active group is in debt, the credit clock jumps forward
+///     just enough to lift the least-indebted-per-weight group back to
+///     zero — work conservation without collapsing to equal shares;
+///  3. groups are serviced in deficit order (recent-fire breaks ties);
+///     once some group has made progress, groups still in debt sit the
+///     round out — that is what enforces the weight ratio under load;
+///  4. service debits the compute+post CPU the group actually charged;
+///  5. a group quiet for `drr_demote_after` services *and* fire-free for
+///     `drr_demote_quiet` is demoted onto the scan lane and probed once
+///     per `scan_interval` instead of every round; a fire at a probe or a
+///     rearm promotes it back.
+///
+/// The shared per-node doorbell cannot attribute a ring to a group, so
+/// under load the scan lane is the latency bound for a cold group's first
+/// message; from quiescence the doorbell wake courtesy-probes the whole
+/// scan lane on the next idle round.
+sim::Co<> Predicates::run_drr() {
+  int idle_streak = 0;
+  std::uint64_t rearm_seen = rearm_generation_;
+  std::vector<std::size_t> order;  // ready groups first, due probes after
+  while (!cfg_.stopped()) {
+    if (cfg_.stall_until) {
+      const sim::Nanos until = cfg_.stall_until();
+      if (until > engine_.now()) {
+        co_await engine_.sleep(until - engine_.now());
+        continue;
+      }
+    }
+    if (rearm_generation_ != rearm_seen) {
+      rearm_seen = rearm_generation_;
+      promote_all();
+      idle_streak = 0;
+    }
+
+    const sim::Nanos round_start = engine_.now();
+    order.clear();
+    std::size_t ready_count = 0;
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+      GroupSched& sc = groups_[i].sched;
+      if (sc.demoted) continue;
+      credit_group(groups_[i], 1);
+      order.push_back(i);
+      ++ready_count;
+    }
+    bool any_credit = false;
+    for (std::size_t k = 0; k < ready_count; ++k) {
+      if (groups_[order[k]].sched.deficit >= 0) {
+        any_credit = true;
+        break;
+      }
+    }
+    if (!any_credit && ready_count > 0) {
+      // Credit-clock jump (step 2): find the fewest whole rounds that lift
+      // some group out of debt and grant them to everyone at once. Pure
+      // bookkeeping — no virtual time passes, so the scheduler stays
+      // work-conserving while shares still converge to the weight ratio.
+      std::int64_t jump = std::numeric_limits<std::int64_t>::max();
+      for (std::size_t k = 0; k < ready_count; ++k) {
+        const Group& g = groups_[order[k]];
+        const std::int64_t per_round =
+            static_cast<std::int64_t>(g.opts.weight) * cfg_.drr_quantum;
+        const std::int64_t need =
+            (-g.sched.deficit + per_round - 1) / per_round;
+        jump = std::min(jump, need);
+      }
+      for (std::size_t k = 0; k < ready_count; ++k) {
+        credit_group(groups_[order[k]], jump);
+      }
+    }
+    std::stable_sort(order.begin(), order.begin() + ready_count,
+                     [this](std::size_t a, std::size_t b) {
+                       const GroupSched& sa = groups_[a].sched;
+                       const GroupSched& sb = groups_[b].sched;
+                       if (sa.deficit != sb.deficit) {
+                         return sa.deficit > sb.deficit;
+                       }
+                       return sa.last_fire > sb.last_fire;
+                     });
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+      const GroupSched& sc = groups_[i].sched;
+      if (sc.demoted && round_start >= sc.next_scan) order.push_back(i);
+    }
+    // Courtesy probes (doorbell rang from quiescence): append a budgeted,
+    // rotating slice of the scan lane, serviced only if the round turns
+    // out idle — a busy round means the ring was almost surely the hot
+    // groups' own traffic, and the due-probe lane above already carries
+    // the starvation bound.
+    const std::size_t kick_start = order.size();
+    if (probe_kick_) {
+      probe_kick_ = false;
+      std::size_t budget =
+          cfg_.drr_kick_budget > 0
+              ? static_cast<std::size_t>(cfg_.drr_kick_budget)
+              : groups_.size();
+      for (std::size_t step = 0; step < groups_.size() && budget > 0;
+           ++step) {
+        const std::size_t i = (kick_cursor_ + step) % groups_.size();
+        const GroupSched& sc = groups_[i].sched;
+        if (!sc.demoted || round_start >= sc.next_scan) continue;
+        order.push_back(i);
+        if (--budget == 0) kick_cursor_ = i + 1;
+      }
+    }
+
+    bool progress = false;
+    sim::Nanos carry = 0;  // eval cost of quiet groups, slept once per round
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      if (cfg_.stopped()) break;
+      Group& g = groups_[order[k]];
+      GroupSched& sc = g.sched;
+      const bool probe = k >= ready_count;
+      if (k >= kick_start && progress) break;  // courtesy probes: idle only
+      if (!probe && sc.deficit < 0 && progress) continue;  // debtors sit out
+      const ServiceReason reason = probe ? ServiceReason::scan
+                                   : sc.deficit >= 0 ? ServiceReason::credit
+                                                     : ServiceReason::conserve;
+      if (g.opts.lock) co_await g.opts.lock->lock();
+      plan_.clear();
+      sim::Nanos work = 0;
+      const bool acted = eval_group(g, work, plan_);
+      if (g.opts.on_work) g.opts.on_work(work);
+      ++sc.serviced;
+      if (!acted && plan_.empty()) {
+        carry += work;
+        sc.deficit -= work;
+        if (probe) {
+          sc.next_scan = engine_.now() + g.opts.scan_interval;
+        } else if (++sc.quiet_streak >= cfg_.drr_demote_after &&
+                   g.opts.scan_interval > 0 &&
+                   engine_.now() - sc.last_fire >= cfg_.drr_demote_quiet) {
+          sc.demoted = true;
+          ++sc.demotions;
+          sc.next_scan = engine_.now() + g.opts.scan_interval;
+        }
+        if (cfg_.on_service) cfg_.on_service(g.opts, reason, sc.deficit);
+        if (g.opts.lock) g.opts.lock->unlock();
+        continue;
+      }
+      progress = true;
+      sc.quiet_streak = 0;
+      sc.last_fire = engine_.now();
+      if (probe) {
+        // A probe that fired: the group is hot again — promote it with a
+        // clean balance.
+        sc.demoted = false;
+        if (sc.deficit < 0) sc.deficit = 0;
+      }
+      if (g.opts.on_fire) g.opts.on_fire(work);
+      co_await engine_.sleep(work + carry);
+      carry = 0;
+      if (g.opts.lock && g.opts.early_release) g.opts.lock->unlock();
+      const std::uint64_t arg = plan_.arg();
+      const sim::Nanos post = plan_.issue();
+      if (post > 0) {
+        if (g.opts.on_post) g.opts.on_post(post, arg);
+        co_await engine_.sleep(post);
+      }
+      if (g.opts.lock && !g.opts.early_release) g.opts.lock->unlock();
+      sc.deficit -= work + post;
+      if (cfg_.on_service) cfg_.on_service(g.opts, reason, sc.deficit);
+    }
+    if (cfg_.stopped()) break;
+
+    sim::Nanos over = carry;
+    if (cfg_.iteration_pause) over += cfg_.iteration_pause();
+    co_await engine_.sleep(over);
+
+    if (progress) {
+      idle_streak = 0;
+    } else if (++idle_streak >= cfg_.idle_streak_threshold) {
+      const int shift = std::min(idle_streak - cfg_.idle_streak_threshold,
+                                 cfg_.idle_backoff_max_shift);
+      sim::Nanos backoff =
+          std::min(cfg_.idle_backoff_min << shift, cfg_.idle_backoff_max);
+      // The scan lane bounds the backoff: a demoted group's probe may not
+      // be pushed past its due time.
+      const sim::Nanos now = engine_.now();
+      for (const Group& g : groups_) {
+        if (!g.sched.demoted) continue;
+        const sim::Nanos gap =
+            g.sched.next_scan > now ? g.sched.next_scan - now : 1;
+        backoff = std::min(backoff, gap);
+      }
+      if (cfg_.doorbell != nullptr) {
+        if (co_await cfg_.doorbell->wait_for(backoff)) {
+          // Ring from quiescence: remote state moved somewhere — possibly
+          // in a demoted group's rows. The doorbell cannot say which group,
+          // so courtesy-probe the whole scan lane next round; a probe that
+          // fires promotes its group, the rest stay demoted at one eval
+          // each (promoting wholesale would force every cold group through
+          // a fresh quiet streak per wake).
+          probe_kick_ = true;
+        }
       } else {
         co_await engine_.sleep(backoff);
       }

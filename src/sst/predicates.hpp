@@ -24,6 +24,31 @@ enum class PredicateClass : std::uint8_t { one_time, recurrent, transition };
 
 const char* to_string(PredicateClass c);
 
+/// Service discipline of the reactive scheduler (paced mode ignores this):
+///
+///  - `strict_rr`: every round sweeps all groups in registration order — the
+///    original discipline, kept bit-identical as the default so existing
+///    golden digests hold.
+///  - `drr`:       deficit-weighted round-robin. Each group accrues credit
+///    (weight x quantum per round) and is debited the compute+post CPU its
+///    triggers charge; service order follows deficit and recent-fire
+///    history, and groups that stay quiet are demoted onto a low-frequency
+///    scan lane so a hot subgroup stops paying a full lap of cold
+///    evaluations per round.
+enum class Discipline : std::uint8_t { strict_rr, drr };
+
+const char* to_string(Discipline d);
+
+/// Why the DRR scheduler serviced a group this round (the `sched_service`
+/// trace annotation).
+enum class ServiceReason : std::uint8_t {
+  credit,    // had non-negative deficit — normal weighted service
+  conserve,  // in debt, but no creditor was runnable (work conservation)
+  scan,      // demoted group probed on its scan-lane interval
+};
+
+const char* to_string(ServiceReason r);
+
 /// The deferred RDMA phase of a trigger, generalizing §3.4's early lock
 /// release: the under-lock compute phase *describes* its pushes by appending
 /// actions, and the scheduler issues them after the lock is (optionally
@@ -115,6 +140,12 @@ class Predicates {
     std::uint32_t tag = 0;      // owner id (e.g. subgroup id) for hooks
     sim::Mutex* lock = nullptr; // nullptr: lock-free group (membership SST)
     bool early_release = false; // §3.4: unlock before the RDMA phase
+    /// DRR: credit multiplier — a weight-2 group may charge twice the CPU
+    /// of a weight-1 group over any contended interval.
+    std::uint32_t weight = 1;
+    /// DRR: probe period once demoted to the scan lane. 0 disables
+    /// demotion — the group is swept every round like strict-RR.
+    sim::Nanos scan_interval = 0;
     /// Checked under the lock; a disabled group (e.g. a wedged subgroup)
     /// contributes no work, no plan, no fires.
     std::function<bool()> enabled;
@@ -142,6 +173,31 @@ class Predicates {
   struct SchedulerConfig {
     std::function<bool()> stopped;            // required
     std::function<sim::Nanos()> stall_until;  // fault injection: slow host
+    /// Reactive service discipline; `strict_rr` keeps the original sweep
+    /// bit-identical (existing golden digests depend on it).
+    Discipline discipline = Discipline::strict_rr;
+    /// DRR: credit granted per weight unit per round, in ns of CPU.
+    sim::Nanos drr_quantum = 1000;
+    /// DRR: consecutive quiet services before a group is demoted onto the
+    /// scan lane (only groups with a non-zero scan_interval demote).
+    int drr_demote_after = 8;
+    /// DRR: a group must also have been fire-free this long before it is
+    /// demoted — a hot group drains its window and sits out a handful of
+    /// *fast* rounds between bursts, and those must not count against it.
+    sim::Nanos drr_demote_quiet = sim::micros(25);
+    /// DRR: courtesy probes per doorbell wake from quiescence (rotating
+    /// over the scan lane). Bounds the probe cost a wake can charge to a
+    /// node with a long scan lane; the lane's own schedule still carries
+    /// the `scan_interval` starvation bound.
+    int drr_kick_budget = 4;
+    /// DRR: deficit ceiling, in quantum-rounds of the group's weight — an
+    /// idle-but-polled group cannot bank unbounded credit.
+    int drr_deficit_cap_rounds = 8;
+    /// Observability: the DRR scheduler serviced a group (the
+    /// `sched_service` trace span); `deficit` is the post-debit balance.
+    std::function<void(const GroupOptions& group, ServiceReason reason,
+                       std::int64_t deficit)>
+        on_service;
     // Reactive mode:
     /// Per-round fixed cost (iteration overhead + jitter + hiccups).
     std::function<sim::Nanos()> iteration_pause;
@@ -176,16 +232,42 @@ class Predicates {
 
   /// Re-enable a one_time predicate (and reset a transition edge) — e.g. at
   /// view install, when the epoch-scoped membership predicates re-arm.
+  /// Both forms kick the scheduler: an idle-backoff sleep is cut short (via
+  /// the doorbell) and demoted groups are promoted, so a re-armed predicate
+  /// is evaluated promptly instead of waiting out the remaining backoff.
   void rearm(PredId p);
   void rearm_all();
+
+  /// Fault injection (`fault::FaultKind::predicate_delay`): until virtual
+  /// time `until`, every *fire* of the predicate named `name` charges
+  /// `extra` additional simulated compute — delaying its post phase and
+  /// everything downstream. Overlapping windows for the same name stack.
+  void inject_delay(std::string name, sim::Nanos until, sim::Nanos extra);
+
+  /// Per-group DRR scheduler accounting, exported into `cluster.stats()`.
+  /// Meaningful under `Discipline::drr`; zeros under strict-RR.
+  struct GroupSched {
+    std::int64_t deficit = 0;    // current credit balance (ns of CPU)
+    std::uint64_t serviced = 0;  // rounds the scheduler evaluated the group
+    std::uint64_t demotions = 0; // times demoted onto the scan lane
+    bool demoted = false;        // currently on the scan lane
+    sim::Nanos next_scan = 0;    // next probe while demoted
+    int quiet_streak = 0;        // consecutive quiet services
+    sim::Nanos last_fire = 0;    // most recent acting service (ready order)
+  };
 
   std::size_t num_groups() const noexcept { return groups_.size(); }
   std::size_t num_predicates() const noexcept { return preds_.size(); }
   const PredicateStats& stats(PredId p) const { return preds_[p].stats; }
+  const GroupSched& group_sched(GroupId g) const { return groups_[g].sched; }
 
   /// Visit every predicate with its group context (metrics collectors).
   void visit(const std::function<void(const GroupOptions&,
                                       const PredicateStats&)>& fn) const;
+
+  /// Visit every group with its scheduler accounting (metrics collectors).
+  void visit_groups(const std::function<void(const GroupOptions&,
+                                             const GroupSched&)>& fn) const;
 
  private:
   struct Predicate {
@@ -199,16 +281,32 @@ class Predicates {
   struct Group {
     GroupOptions opts;
     std::vector<PredId> preds;
+    GroupSched sched;
+  };
+  struct DelayWindow {
+    std::string name;
+    sim::Nanos until = 0;
+    sim::Nanos extra = 0;
   };
 
   bool eval_group(Group& g, sim::Nanos& work, PostPlan& plan);
+  sim::Nanos fire_delay(const std::string& name);
+  void credit_group(Group& g, std::int64_t rounds);
+  void promote_all();
+  void kick();
   sim::Co<> run_reactive();
+  sim::Co<> run_drr();
   sim::Co<> run_paced();
 
   sim::Engine& engine_;
   SchedulerConfig cfg_;
   std::vector<Group> groups_;
   std::vector<Predicate> preds_;
+  std::vector<DelayWindow> delays_;
+  std::uint64_t rearm_generation_ = 0;  // bumped by rearm(); schedulers poll
+  bool probe_kick_ = false;  // doorbell rang from quiescence: courtesy-probe
+                             // the scan lane on the next idle round
+  std::size_t kick_cursor_ = 0;  // rotation point for budgeted courtesy probes
   PostPlan plan_;  // reused across rounds; capacity reaches steady state
 };
 

@@ -38,6 +38,8 @@ const char* to_string(Stage s) {
       return "fault";
     case Stage::predicate_fire:
       return "predicate_fire";
+    case Stage::sched_service:
+      return "sched_service";
   }
   return "?";
 }

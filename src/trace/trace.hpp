@@ -28,9 +28,11 @@ enum class Stage : std::uint8_t {
   fault,           // fault-injection onset (arg = fault::FaultKind)
   predicate_fire,  // one registered sst::Predicates trigger acted
                    // (dur = its slice of the round's compute, arg = pred id)
+  sched_service,   // DRR scheduler serviced a group (arg = sst::ServiceReason,
+                   // msg_index = post-debit deficit)
 };
 
-inline constexpr std::size_t kNumStages = 16;
+inline constexpr std::size_t kNumStages = 17;
 const char* to_string(Stage s);
 
 inline constexpr std::uint32_t kNoSubgroup = UINT32_MAX;

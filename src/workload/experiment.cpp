@@ -60,6 +60,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   cc.cpu = cfg.cpu;
   cc.seed = cfg.seed;
   cc.trace = cfg.trace;
+  cc.discipline = cfg.discipline;
+  cc.scan_interval = cfg.scan_interval;
   if (!cfg.trace_out.empty()) cc.trace.enabled = true;
   core::Cluster cluster(cc);
 
@@ -78,6 +80,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     sc.members = all;
     sc.senders = senders;
     sc.opts = cfg.opts;
+    sc.weight = g < cfg.active_subgroups ? cfg.active_weight : 1;
     sgs.push_back(cluster.create_subgroup(sc));
   }
   cluster.start();

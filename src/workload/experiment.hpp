@@ -26,6 +26,16 @@ struct ExperimentConfig {
   std::size_t messages_per_sender = 1000;
   std::uint32_t message_size = 10240;
   core::ProtocolOptions opts = core::ProtocolOptions::spindle();
+  /// Predicate-scheduler discipline (fig13 multi-active: `drr` keeps a hot
+  /// subgroup from paying a full strict-RR lap of cold evaluations).
+  sst::Discipline discipline = sst::Discipline::strict_rr;
+  /// DRR weight given to the *active* subgroups; inactive ones keep
+  /// weight 1. Ignored under strict-RR.
+  std::uint32_t active_weight = 1;
+  /// DRR scan-lane period — the service bound for a demoted (quiet) group,
+  /// and so the latency bound for its first message. Must be long relative
+  /// to a polling round for demotion to actually shed cold-group work.
+  sim::Nanos scan_interval = sim::micros(25);
 
   /// Delay injection (§4.2.1): the first `delayed_senders` senders busy-wait
   /// `post_send_delay` after each send; with `delayed_forever` they never

@@ -53,6 +53,7 @@ struct ChaosOutcome {
   std::uint32_t epochs = 0;
   bool halted = false;
   bool persistent = false;
+  bool drr = false;
   std::size_t crashes_scheduled = 0;
 };
 
@@ -68,6 +69,14 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
   core::ManagedGroup::Config cfg;
   cfg.nodes = nodes;
   cfg.seed = seed;
+  // DRR mixing: half the seeds run their epoch clusters under the deficit
+  // scheduler. Drawn from an independent RNG stream so the shape draws
+  // above (and the per-sender gap draws below) match the strict-RR-only
+  // sweep exactly.
+  sim::Rng disc(seed ^ 0xd88ULL);
+  const bool use_drr = disc.below(2) == 0;
+  cfg.discipline =
+      use_drr ? sst::Discipline::drr : sst::Discipline::strict_rr;
   core::ManagedGroup group(cfg, [persistent](const core::View& v) {
     core::SubgroupConfig sc;
     sc.name = "chaos";
@@ -135,7 +144,7 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
     std::ostringstream os;
     os << "chaos seed=" << seed << " nodes=" << nodes
        << " persistent=" << persistent << " msgs=" << msgs_per_sender
-       << "\n"
+       << " discipline=" << sst::to_string(cfg.discipline) << "\n"
        << injector.plan().to_string() << "replay: SPINDLE_CHAOS_RUNS=1 "
        << "SPINDLE_CHAOS_SEED=" << seed << " ./tests/chaos_test\n";
     out.dump = os.str();
@@ -143,6 +152,7 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
   out.epochs = group.epoch();
   out.halted = group.halted();
   out.persistent = persistent;
+  out.drr = use_drr;
   for (const fault::FaultEvent& e : injector.plan().events) {
     if (e.kind == fault::FaultKind::crash) ++out.crashes_scheduled;
   }
@@ -189,6 +199,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
 // (Deterministic: the seed population is fixed, so these counts are too.)
 TEST(ChaosCoverage, SeedPopulationExercisesTheProtocol) {
   std::size_t with_crashes = 0, with_epochs = 0, persistent = 0, halted = 0;
+  std::size_t with_drr = 0;
   for (std::uint64_t i = 0; i < 100; ++i) {
     const ChaosOutcome out = run_chaos(kBaseSeed + i);
     ASSERT_TRUE(out.done) << out.dump << out.diagnostics;
@@ -196,10 +207,12 @@ TEST(ChaosCoverage, SeedPopulationExercisesTheProtocol) {
     if (out.epochs > 0) ++with_epochs;
     if (out.persistent) ++persistent;
     if (out.halted) ++halted;
+    if (out.drr) ++with_drr;
   }
   EXPECT_GE(with_crashes, 30u);
   EXPECT_GE(with_epochs, 30u);
   EXPECT_GE(persistent, 15u);
+  EXPECT_GE(with_drr, 30u);  // both disciplines under fault pressure
   // Halts (total failure) are rare but legal; no lower bound asserted.
   RecordProperty("halted_runs", static_cast<int>(halted));
 }
@@ -239,12 +252,14 @@ struct NamedRun {
   fault::VsyncChecker checker;
   std::uint64_t msgs = 30;
 
-  NamedRun(std::size_t nodes, std::uint64_t seed, bool persistent)
+  NamedRun(std::size_t nodes, std::uint64_t seed, bool persistent,
+           sst::Discipline discipline = sst::Discipline::strict_rr)
       : group(
             [&] {
               core::ManagedGroup::Config cfg;
               cfg.nodes = nodes;
               cfg.seed = seed;
+              cfg.discipline = discipline;
               return cfg;
             }(),
             simple_layout(persistent)) {
@@ -358,6 +373,34 @@ TEST(ChaosNamed, FalseSuspicionOfSlowNode) {
   });
   ASSERT_TRUE(r.run_to_quiescence()) << r.group.engine().diagnostics();
   EXPECT_EQ(r.group.view().members, (std::vector<net::NodeId>{0, 1, 3}));
+  r.expect_clean();
+}
+
+TEST(ChaosNamed, PredicateDelayUnderDrr) {
+  // Per-predicate fault injection under the DRR discipline: every fire of
+  // the deliver trigger pays +15µs of compute for a 1ms window (a slow
+  // trigger — lock contention, cache-hostile scan). Delivery lags but the
+  // virtual-synchrony contract must hold, and since membership heartbeats
+  // live on a separate paced registry, no false suspicion may result.
+  NamedRun r(4, 83, /*persistent=*/false, sst::Discipline::drr);
+  r.group.engine().schedule_fn(sim::micros(80), [&] {
+    r.group.delay_predicate(1, "deliver", sim::millis(1), sim::micros(15));
+  });
+  ASSERT_TRUE(r.run_to_quiescence()) << r.group.engine().diagnostics();
+  EXPECT_EQ(r.group.epoch(), 0u) << "a slow deliver trigger must not "
+                                    "provoke a view change";
+  EXPECT_EQ(r.group.view().members.size(), 4u);
+  r.expect_clean();
+}
+
+TEST(ChaosNamed, CrashUnderDrr) {
+  // The baseline crash regression, re-run under the deficit scheduler: a
+  // view change (wedge, trim, install, rearm) with DRR-scheduled epoch
+  // clusters on both sides of the install barrier.
+  NamedRun r(5, 84, /*persistent=*/false, sst::Discipline::drr);
+  r.group.engine().schedule_fn(sim::micros(60), [&] { r.group.crash(1); });
+  ASSERT_TRUE(r.run_to_quiescence()) << r.group.engine().diagnostics();
+  EXPECT_EQ(r.group.view().members, (std::vector<net::NodeId>{0, 2, 3, 4}));
   r.expect_clean();
 }
 

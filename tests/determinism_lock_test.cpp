@@ -73,11 +73,14 @@ std::uint64_t tag_of(std::span<const std::byte> data) {
 /// Cluster-level digest: per-node delivery records (in upcall order, with
 /// the virtual time of the trigger that delivered them), then the merged
 /// counter snapshot and the makespan.
-std::uint64_t cluster_digest(std::size_t nodes, std::size_t subgroups,
-                             std::size_t messages, std::uint64_t seed) {
+std::uint64_t cluster_digest(
+    std::size_t nodes, std::size_t subgroups, std::size_t messages,
+    std::uint64_t seed,
+    sst::Discipline discipline = sst::Discipline::strict_rr) {
   ClusterConfig cc;
   cc.nodes = nodes;
   cc.seed = seed;
+  cc.discipline = discipline;
   Cluster cluster(cc);
   std::vector<net::NodeId> members;
   for (std::size_t i = 0; i < nodes; ++i) {
@@ -219,6 +222,10 @@ std::uint64_t view_change_digest(std::uint64_t seed) {
 constexpr std::uint64_t kGoldenFig03 = 0x365e331d6cce736e;
 constexpr std::uint64_t kGoldenFig09 = 0xea69ce9212cbae91;
 constexpr std::uint64_t kGoldenViewChange = 0x3080420c16e0e5a0;
+// Captured when the DRR discipline landed (same workload as fig09, run
+// under `drr`): pins the deficit scheduler's service order, demotion
+// timing, and credit accounting bit-for-bit going forward.
+constexpr std::uint64_t kGoldenFig09Drr = 0x86c1d6e0e1460ee8;
 
 TEST(DeterminismLock, Fig03SingleSubgroup) {
   const std::uint64_t h = cluster_digest(8, 1, 100, 7);
@@ -230,6 +237,14 @@ TEST(DeterminismLock, Fig09BatchedMultigroup) {
   const std::uint64_t h = cluster_digest(6, 3, 40, 11);
   std::printf("digest fig09: 0x%llx\n", static_cast<unsigned long long>(h));
   EXPECT_EQ(h, kGoldenFig09);
+}
+
+TEST(DeterminismLock, Fig09BatchedMultigroupDrr) {
+  const std::uint64_t h =
+      cluster_digest(6, 3, 40, 11, sst::Discipline::drr);
+  std::printf("digest fig09-drr: 0x%llx\n",
+              static_cast<unsigned long long>(h));
+  EXPECT_EQ(h, kGoldenFig09Drr);
 }
 
 TEST(DeterminismLock, ChaosSeedWithViewChange) {
