@@ -133,6 +133,16 @@ void Cluster::start() {
       s.f_persisted = fields[sg].persisted;
       if (cfg.opts.persistent) {
         s.persist_signal = std::make_unique<sim::Signal>(*engine_);
+        if (store_provider_) {
+          s.dlog = store_provider_(member, sg);
+        } else {
+          store::StoreOptions so;
+          so.sector_bytes = cfg_.cpu.ssd_sector_bytes;
+          so.checkpoint_bytes = cfg_.cpu.ssd_checkpoint_bytes;
+          owned_logs_.push_back(std::make_unique<store::VersionedLog>(so));
+          owned_logs_.back()->open_epoch(0);
+          s.dlog = owned_logs_.back().get();
+        }
       }
       const auto mit =
           std::find(cfg.members.begin(), cfg.members.end(), member);

@@ -64,6 +64,16 @@ class Cluster {
   /// follows the order of `cfg.senders`.
   SubgroupId create_subgroup(SubgroupConfig cfg);
 
+  /// Durable-store binding for persistent subgroups (before start()).
+  /// When set, the provider supplies the versioned log for each
+  /// (member, subgroup) — how a ManagedGroup keeps one log per node alive
+  /// across epochs and restarts. Without a provider the cluster owns
+  /// fresh logs (epoch 0), the standalone-group behaviour.
+  void set_store_provider(
+      std::function<store::VersionedLog*(net::NodeId, SubgroupId)> p) {
+    store_provider_ = std::move(p);
+  }
+
   /// Allocate and connect SST + ring buffers (the per-view memory layout of
   /// §2.3) and start every node's predicate thread.
   void start();
@@ -131,6 +141,8 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> nodes_;  // indexed by NodeId; null for
                                               // fabric nodes outside members_
   std::vector<SubgroupConfig> subgroup_configs_;
+  std::function<store::VersionedLog*(net::NodeId, SubgroupId)> store_provider_;
+  std::vector<std::unique_ptr<store::VersionedLog>> owned_logs_;
   bool started_ = false;
   bool shut_down_ = false;
 };

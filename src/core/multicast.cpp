@@ -333,7 +333,7 @@ bool Node::trigger_deliver(SubgroupState& s, sst::TriggerContext& ctx) {
         Delivery d{s.id, j, seq, k, s.ring->message(j, k, t.len), -1};
         d.sent_at = cluster_.send_oracle().get(s.id, j, k);
         if (s.delivery_cost_hook) work += s.delivery_cost_hook(d);
-        if (opts.persistent) work += enqueue_persist(s, seq, d.data);
+        if (opts.persistent) work += enqueue_persist(s, seq, j, k, d.data);
         if (batched_upcall) {
           // §3.5 mitigation 1: defer to one upcall for the whole batch;
           // only the marginal per-message cost accrues here.
@@ -422,11 +422,13 @@ sim::Nanos Node::post_send_range(SubgroupState& s, std::int64_t first,
 }
 
 sim::Nanos Node::enqueue_persist(SubgroupState& s, std::int64_t seq,
+                                 std::size_t sender, std::int64_t index,
                                  std::span<const std::byte> data) {
   // Stage the message out of the ring (the slot will be recycled long
   // before the SSD flush) and wake the write-behind logger.
-  s.persist_queue.push_back(
-      SubgroupState::PersistEntry{seq, {data.begin(), data.end()}});
+  s.persist_queue.push_back(SubgroupState::PersistEntry{
+      seq, static_cast<std::uint32_t>(sender), index,
+      {data.begin(), data.end()}});
   s.persist_signal->signal();
   return cluster_.cpu().memcpy_cost(data.size());
 }
@@ -449,9 +451,15 @@ sim::Co<> Node::persist_logger(SubgroupState& s) {
       s.persist_queue.pop_front();
       cost += cpu.ssd_append_cost(entry.bytes.size());
       last_seq = entry.seq;
-      s.log.push_back(std::move(entry.bytes));
+      // Staged into the versioned log's write-behind view; durable only
+      // once the flush below completes. A crash mid-flush tears the batch
+      // at a sector boundary (store/versioned_log.hpp).
+      s.dlog->append(entry.seq, entry.sender, entry.index,
+                     std::move(entry.bytes));
     }
+    s.dlog->flush_begin(eng.now(), cost);
     co_await eng.sleep(cost);
+    s.dlog->flush_commit();
     // The frontier covers trailing nulls: everything delivered up to the
     // next queued entry (or delivered_num) is persisted.
     s.persisted_local = s.persist_queue.empty()
@@ -464,6 +472,17 @@ sim::Co<> Node::persist_logger(SubgroupState& s) {
     sst_->write_local_i64(s.f_persisted, s.persisted_local);
     const sim::Nanos post = sst_->push_field(s.f_persisted, s.peer_ranks);
     if (post > 0) co_await eng.sleep(post);
+    if (s.dlog->wants_checkpoint()) {
+      // Periodic compaction under load: fold the committed records into a
+      // fresh checkpoint segment, paying one op latency plus the rewrite
+      // bandwidth. Off by default (CpuModel::ssd_checkpoint_bytes == 0).
+      const std::uint64_t live = s.dlog->compact();
+      const sim::Nanos ccost = cpu.ssd_op_latency + cpu.ssd_append_cost(live);
+      cluster_.tracer().record(id_, trace::Stage::persist, eng.now(), ccost,
+                               s.id, trace::kNoSender, -1,
+                               s.dlog->checkpoints());
+      co_await eng.sleep(ccost);
+    }
   }
 }
 
@@ -481,7 +500,7 @@ void Node::force_deliver_through(SubgroupId sg, std::int64_t trim) {
     if (!(t.flags & smc::kNullFlag) &&
         s.cfg.opts.mode == DeliveryMode::atomic) {
       const Delivery d{s.id, j, seq, k, s.ring->message(j, k, t.len), -1};
-      if (s.cfg.opts.persistent) enqueue_persist(s, seq, d.data);
+      if (s.cfg.opts.persistent) enqueue_persist(s, seq, j, k, d.data);
       cluster_.tracer().record(id_, trace::Stage::deliver,
                                cluster_.engine().now(), 0, s.id,
                                static_cast<std::uint32_t>(j), k,

@@ -124,9 +124,16 @@ void Node::set_persistence_handler(SubgroupId sg,
 
 const std::vector<std::vector<std::byte>>& Node::persistent_log(
     SubgroupId sg) const {
+  static const std::vector<std::vector<std::byte>> kEmpty;
   const SubgroupState* s = find(sg);
   assert(s != nullptr);
-  return s->log;
+  return s->dlog ? s->dlog->payloads() : kEmpty;
+}
+
+const store::VersionedLog* Node::durable_store(SubgroupId sg) const {
+  const SubgroupState* s = find(sg);
+  assert(s != nullptr);
+  return s->dlog;
 }
 
 std::int64_t Node::persisted_frontier(SubgroupId sg) const {
@@ -156,7 +163,8 @@ void Node::flush_persist_queue() {
       auto entry = std::move(s.persist_queue.front());
       s.persist_queue.pop_front();
       if (entry.seq > s.persisted_local) s.persisted_local = entry.seq;
-      s.log.push_back(std::move(entry.bytes));
+      s.dlog->append_committed(entry.seq, entry.sender, entry.index,
+                               std::move(entry.bytes));
     }
     // Trailing nulls are not logged but are covered by the frontier.
     if (s.delivered_num > s.persisted_local) {

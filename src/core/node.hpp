@@ -16,6 +16,7 @@
 #include "smc/ring.hpp"
 #include "sst/predicates.hpp"
 #include "sst/sst.hpp"
+#include "store/versioned_log.hpp"
 
 namespace spindle::core {
 
@@ -103,11 +104,17 @@ struct SubgroupState {
   sst::FieldId f_persisted;  // this subgroup's persisted_num column
   struct PersistEntry {
     std::int64_t seq;
+    std::uint32_t sender;  // sender rank (for the versioned-log record)
+    std::int64_t index;    // per-sender message index
     std::vector<std::byte> bytes;
   };
   std::deque<PersistEntry> persist_queue;  // delivered, awaiting SSD flush
   std::unique_ptr<sim::Signal> persist_signal;
-  std::vector<std::vector<std::byte>> log;  // flushed entries, in order
+  /// Durable versioned log (simulated SSD). Owned by the Cluster for a
+  /// standalone group, or by the ManagedGroup for an epoch cluster — where
+  /// it outlives views and process restarts. Null for non-persistent
+  /// subgroups.
+  store::VersionedLog* dlog = nullptr;
   std::int64_t persisted_local = -1;   // local flushed frontier (seq)
   std::int64_t persisted_global = -1;  // min over members, last reported
   std::function<void(std::int64_t)> persist_handler;
@@ -177,6 +184,10 @@ class Node {
   const std::vector<std::vector<std::byte>>& persistent_log(
       SubgroupId sg) const;
   std::int64_t persisted_frontier(SubgroupId sg) const;
+  /// Persistent mode: the versioned log behind persistent_log() (null for
+  /// non-persistent subgroups). Segment/version-vector inspection for
+  /// tests and the recovery protocol.
+  const store::VersionedLog* durable_store(SubgroupId sg) const;
 
   /// Fault injection: deschedule the polling thread until virtual time `t`
   /// (a slow host — IRQ storm, VM pause, cgroup throttle). The predicate
@@ -199,6 +210,20 @@ class Node {
   void delay_predicate(const std::string& name, sim::Nanos until,
                        sim::Nanos extra) {
     if (preds_) preds_->inject_delay(name, until, extra);
+  }
+  /// Fault injection: until virtual time `until`, the data plane's PostPlan
+  /// actions on `lane` are held back instead of posted (a stalled QP lane);
+  /// they release, in lane order, on the first round after expiry. No-op
+  /// before start().
+  void drop_postplan_lane(int lane, sim::Nanos until) {
+    if (preds_) preds_->inject_lane_drop(lane, until);
+  }
+  /// Fault injection: until virtual time `until`, the data-plane scheduler
+  /// sees phantom doorbell rings — no idle backoff, plus `extra` wasted
+  /// compute per round (spurious predicate evaluations). No-op before
+  /// start().
+  void force_spurious_evals(sim::Nanos until, sim::Nanos extra) {
+    if (preds_) preds_->inject_spurious(until, extra);
   }
   /// View-change support: synchronously move every queued persist entry to
   /// the durable log and advance the local frontier. Survivors run this
@@ -276,8 +301,10 @@ class Node {
   /// advanced persisted_num through the SST.
   sim::Co<> persist_logger(SubgroupState& s);
   /// Enqueue a delivered message for persistence (returns the memcpy cost
-  /// of staging it out of the ring).
+  /// of staging it out of the ring). `sender`/`index` ride along into the
+  /// versioned-log record.
   sim::Nanos enqueue_persist(SubgroupState& s, std::int64_t seq,
+                             std::size_t sender, std::int64_t index,
                              std::span<const std::byte> data);
 
   bool slot_free(const SubgroupState& s, std::int64_t idx) const;

@@ -32,16 +32,18 @@ ManagedGroup::ManagedGroup(Config cfg, SubgroupLayout layout)
   }
   queues_.resize(cfg.nodes);
   handlers_.resize(cfg.nodes);
-  plog_.resize(cfg.nodes);
+  stores_.resize(cfg.nodes);
   for (std::size_t i = 0; i < cfg.nodes; ++i) {
     queues_[i].resize(num_subgroups_);
     handlers_[i].resize(num_subgroups_);
-    plog_[i].resize(num_subgroups_);
+    stores_[i].resize(num_subgroups_);
   }
   cpu_stall_until_.assign(cfg.nodes, 0);
   ssd_fault_until_.assign(cfg.nodes, 0);
   ssd_extra_latency_.assign(cfg.nodes, 0);
   pred_delays_.assign(cfg.nodes, {});
+  lane_drops_.assign(cfg.nodes, {});
+  spurious_evals_.assign(cfg.nodes, {});
 }
 
 ManagedGroup::~ManagedGroup() { shutdown(); }
@@ -63,6 +65,12 @@ void ManagedGroup::start() {
   f_prop_epoch_ = layout.add_i64("proposed_epoch");
   f_prop_failed_ = layout.add_i64("proposed_failed_mask");
   f_prop_guard_ = layout.add_i64("proposal_guard");
+  // Total-failure recovery announcements (trailing fields: existing pushes
+  // are per-field-range and do not change cost).
+  f_restart_ = layout.add_i64("restart_announce");
+  for (std::size_t g = 0; g < num_subgroups_; ++g) {
+    f_durable_.push_back(layout.add_i64("durable[" + std::to_string(g) + "]"));
+  }
 
   std::vector<net::NodeId> all = view_.members;
   std::vector<sst::Sst*> ssts;
@@ -71,6 +79,9 @@ void ManagedGroup::start() {
         std::make_unique<sst::Sst>(fabric_, id, all, layout));
     for (auto f : f_frozen_) member_sst_.back()->init_field_all_rows_i64(f, -1);
     for (auto f : f_trim_) member_sst_.back()->init_field_all_rows_i64(f, -1);
+    for (auto f : f_durable_) {
+      member_sst_.back()->init_field_all_rows_i64(f, -1);
+    }
     ssts.push_back(member_sst_.back().get());
   }
   sst::Sst::connect(ssts);
@@ -111,6 +122,21 @@ void ManagedGroup::build_epoch_cluster() {
   cc.scan_interval = cfg_.scan_interval;
   epoch_cluster_ = std::make_unique<Cluster>(engine_, fabric_, cc,
                                              view_.members, &tracer_);
+  // Persistent subgroups write through the group-lifetime stores: one
+  // versioned log per (node, subgroup) that accumulates across epochs.
+  // SubgroupIds are assigned in layout order, so they index stores_[n].
+  epoch_cluster_->set_store_provider(
+      [this](net::NodeId n, SubgroupId sg) -> store::VersionedLog* {
+        auto& slot = stores_[n][sg];
+        if (!slot) {
+          store::StoreOptions so;
+          so.sector_bytes = cfg_.cpu.ssd_sector_bytes;
+          so.checkpoint_bytes = cfg_.cpu.ssd_checkpoint_bytes;
+          slot = std::make_unique<store::VersionedLog>(so);
+        }
+        slot->open_epoch(view_.epoch);
+        return slot.get();
+      });
 
   const auto subgroups = layout_(view_);
   if (subgroups.size() != num_subgroups_) {
@@ -133,10 +159,11 @@ void ManagedGroup::build_epoch_cluster() {
             const auto& senders =
                 epoch_cluster_->subgroup_config(sg).senders;
             if (senders[d.sender] == member) {
-              auto& q = queues_[member][g].q;
-              assert(!q.empty() && q.front().in_flight &&
+              auto& sq = queues_[member][g];
+              assert(!sq.q.empty() && sq.q.front().in_flight &&
                      "self-delivery without a pending entry");
-              q.pop_front();
+              sq.q.pop_front();
+              ++sq.popped;
             }
             if (handlers_[member][g]) handlers_[member][g](d);
           });
@@ -155,6 +182,16 @@ void ManagedGroup::build_epoch_cluster() {
     for (const PredDelay& d : pred_delays_[id]) {
       if (d.until > engine_.now()) {
         node.delay_predicate(d.name, d.until, d.extra);
+      }
+    }
+    for (const LaneDrop& d : lane_drops_[id]) {
+      if (d.until > engine_.now()) {
+        node.drop_postplan_lane(d.lane, d.until);
+      }
+    }
+    for (const SpuriousEvals& s : spurious_evals_[id]) {
+      if (s.until > engine_.now()) {
+        node.force_spurious_evals(s.until, s.extra);
       }
     }
   }
@@ -180,8 +217,16 @@ void ManagedGroup::send(net::NodeId from, std::size_t subgroup_index,
 
 sim::Co<> ManagedGroup::pump_actor(net::NodeId id, std::size_t sg_index) {
   auto& sq = queues_[id][sg_index];
+  const std::uint64_t gen = pred_gen_;
   for (;;) {
-    if (stopped_ || !alive_[id]) co_return;
+    if (gen != pred_gen_) co_return;  // a recovery respawned this pump
+    if (stopped_ || !alive_[id]) {
+      // Mark the pump stopped so a post-recovery send() can respawn it.
+      // (A stale-generation pump must NOT touch the flag: its replacement
+      // already owns it.)
+      sq.pump_running = false;
+      co_return;
+    }
     if (changing_ || epoch_cluster_ == nullptr ||
         !epoch_cluster_->is_member(id)) {
       co_await engine_.sleep(cfg_.heartbeat_period);
@@ -222,7 +267,9 @@ void ManagedGroup::setup_membership_predicates(net::NodeId id) {
   sst::Predicates& preds = *member_preds_[id];
 
   sst::Predicates::SchedulerConfig cfg;
-  cfg.stopped = [this, id] { return stopped_ || !alive_[id]; };
+  cfg.stopped = [this, id, gen = pred_gen_] {
+    return stopped_ || !alive_[id] || gen != pred_gen_;
+  };
   // Slow host (fault injection): the core running the membership thread is
   // descheduled, so heartbeats stop flowing and peers may falsely suspect
   // this live node.
@@ -430,7 +477,9 @@ void ManagedGroup::setup_coordinator_predicates() {
   // period, like the hand-rolled polling loop it replaces.
   coord_preds_ = std::make_unique<sst::Predicates>(engine_);
   sst::Predicates::SchedulerConfig cfg;
-  cfg.stopped = [this] { return stopped_; };
+  cfg.stopped = [this, gen = pred_gen_] {
+    return stopped_ || gen != pred_gen_;
+  };
   cfg.pace = [this](sim::Nanos) { return cfg_.heartbeat_period; };
   coord_preds_->configure(std::move(cfg));
   sst::Predicates::GroupOptions gopts;
@@ -438,19 +487,23 @@ void ManagedGroup::setup_coordinator_predicates() {
   gopts.weight = 4;  // control plane: outranks data subgroups under DRR
   const auto gid = coord_preds_->add_group(std::move(gopts));
 
-  // Every member is suspected: no leader can emerge and no primary
-  // partition exists (mutual suspicion under symmetric NIC stalls). Halt
-  // the group — Derecho's total-failure outcome — instead of wedging
-  // forever. Members' states are frozen where they wedged.
+  // Every member is suspected or dead: no leader can emerge and no primary
+  // partition exists (mutual suspicion under symmetric NIC stalls, or
+  // simply every process crashing). Halt the group — Derecho's
+  // total-failure outcome — instead of wedging forever. Members' states
+  // are frozen where they wedged; restart() can later resume the group
+  // from the durable logs.
   coord_preds_->add(
       gid, {"total_failure_halt", sst::PredicateClass::one_time,
             [this] {
-              if (!changing_) return false;
-              const std::uint64_t suspected = all_suspicions();
-              if (suspected == 0) return false;
               std::uint64_t member_mask = 0;
               for (net::NodeId id : view_.members) member_mask |= bit(id);
-              return (member_mask & ~suspected) == 0;
+              std::uint64_t covered = all_suspicions();
+              for (net::NodeId id : view_.members) {
+                if (!alive_[id]) covered |= bit(id);
+              }
+              if (member_mask == 0 || covered == 0) return false;
+              return (member_mask & ~covered) == 0;
             },
             [this](sst::TriggerContext&) {
               stopped_ = true;
@@ -554,9 +607,6 @@ void ManagedGroup::install_next_view(std::uint64_t failed_mask,
       next.departed.push_back(id);
     }
   }
-  // Fold every old-epoch member's durable log into the cross-epoch
-  // accumulator before the cluster is retired.
-  for (net::NodeId id : view_.members) capture_persistent_logs(id);
   if (next.members.empty()) {
     stopped_ = true;
     return;
@@ -610,6 +660,260 @@ void ManagedGroup::crash(net::NodeId node) {
   if (epoch_cluster_ && epoch_cluster_->is_member(node)) {
     epoch_cluster_->node(node).stop();
   }
+  // The simulated SSD records where the crash cut each in-flight flush.
+  // Nothing is truncated yet: a node that never restarts keeps the
+  // optimistic device view; restart() resolves the torn tail.
+  for (auto& slot : stores_[node]) {
+    if (slot) slot->note_crash(engine_.now());
+  }
+}
+
+bool ManagedGroup::restart(net::NodeId node) {
+  assert(node < cfg_.nodes);
+  if (terminated_) return false;
+  if (restarting_mask_ & bit(node)) return false;
+  if (alive_[node]) {
+    // Process restart of a live node: the process dies first — tearing any
+    // in-flight flush — exactly like crash().
+    crash(node);
+  }
+  // Restart-time log recovery: truncate the torn tail at the sector
+  // boundary the device reached, commit the survivors.
+  for (auto& slot : stores_[node]) {
+    if (slot) slot->recover();
+  }
+  fabric_.restore(node);
+  // Announce the durable version vector through the membership SST
+  // (synchronous, like leave(): the node has no scheduler yet).
+  sst::Sst& sst = *member_sst_[node];
+  for (std::size_t g = 0; g < num_subgroups_; ++g) {
+    const auto* st = stores_[node][g].get();
+    sst.write_local_i64(
+        f_durable_[g],
+        st ? static_cast<std::int64_t>(st->committed_size()) : -1);
+    sst.push_field(f_durable_[g], everyone_);
+  }
+  sst.write_local_i64(f_restart_, 1);
+  sst.push_field(f_restart_, everyone_);
+  restarting_mask_ |= bit(node);
+  last_restart_at_ = engine_.now();
+  if (!recovery_preds_) {
+    setup_recovery_predicates();
+    engine_.spawn(recovery_preds_->run());
+  }
+  return true;
+}
+
+void ManagedGroup::setup_recovery_predicates() {
+  // The recovery barrier, coordinated centrally like the install barrier.
+  // Spawned lazily by the first restart() so groups that never restart pay
+  // nothing; its scheduler only stops at termination, so it survives the
+  // halt it is waiting to resolve.
+  recovery_preds_ = std::make_unique<sst::Predicates>(engine_);
+  sst::Predicates::SchedulerConfig cfg;
+  cfg.stopped = [this] { return terminated_; };
+  cfg.pace = [this](sim::Nanos) { return cfg_.heartbeat_period; };
+  recovery_preds_->configure(std::move(cfg));
+  sst::Predicates::GroupOptions gopts;
+  gopts.name = "recovery";
+  gopts.weight = 4;  // control plane
+  const auto gid = recovery_preds_->add_group(std::move(gopts));
+
+  // Fires once the group has halted and the restart set has settled: late
+  // rejoiners extend the deadline; anyone later still misses the view.
+  recovery_preds_->add(
+      gid, {"recovery_barrier", sst::PredicateClass::recurrent,
+            [this] {
+              return stopped_ && !terminated_ && restarting_mask_ != 0 &&
+                     engine_.now() - last_restart_at_ >= cfg_.restart_settle;
+            },
+            [this](sst::TriggerContext&) {
+              perform_recovery();
+              return true;
+            }});
+}
+
+void ManagedGroup::perform_recovery() {
+  const sim::Nanos now = engine_.now();
+
+  // The recovery view's membership: every node that restarted in time.
+  std::vector<net::NodeId> members;
+  for (net::NodeId id = 0; id < cfg_.nodes; ++id) {
+    if (restarting_mask_ & bit(id)) members.push_back(id);
+  }
+
+  // An old member that never restarted died with the total failure: record
+  // the crash cut for its store so the post-mortem view is honest.
+  for (net::NodeId id : view_.members) {
+    if (restarting_mask_ & bit(id)) continue;
+    if (!alive_[id]) continue;
+    alive_[id] = 0;
+    fabric_.isolate(id);
+    if (epoch_cluster_ && epoch_cluster_->is_member(id)) {
+      epoch_cluster_->node(id).stop();
+    }
+    for (auto& slot : stores_[id]) {
+      if (slot) slot->note_crash(now);
+    }
+  }
+
+  // Longest common durable prefix per subgroup: the minimum announced
+  // committed count over the rejoiners, shrunk past any content
+  // disagreement (committed prefixes cannot diverge under the protocol,
+  // but the rule is defensive — a disagreeing suffix is discarded).
+  RecoveryInfo info;
+  info.epoch = view_.epoch + 1;
+  info.members = members;
+  info.pre_logs.resize(num_subgroups_);
+  info.common_prefix.assign(num_subgroups_, 0);
+  for (std::size_t g = 0; g < num_subgroups_; ++g) {
+    info.pre_logs[g].resize(cfg_.nodes);
+    for (net::NodeId id = 0; id < cfg_.nodes; ++id) {
+      if (stores_[id][g]) info.pre_logs[g][id] = stores_[id][g]->payloads();
+    }
+    bool any = false;
+    std::size_t lcp = SIZE_MAX;
+    for (net::NodeId m : members) {
+      if (!stores_[m][g]) continue;  // never persisted in g: unconstraining
+      any = true;
+      const std::int64_t announced = member_sst_[m]->read_i64(m, f_durable_[g]);
+      lcp = std::min(lcp, announced < 0
+                              ? std::size_t{0}
+                              : static_cast<std::size_t>(announced));
+    }
+    if (!any) continue;
+    std::size_t k = 0;
+    for (; k < lcp; ++k) {
+      const store::Record* ref = nullptr;
+      bool agree = true;
+      for (net::NodeId m : members) {
+        const auto* st = stores_[m][g].get();
+        if (!st) continue;
+        const store::Record& r = st->records()[k];
+        if (ref == nullptr) {
+          ref = &r;
+        } else if (r.seq != ref->seq || r.sender != ref->sender ||
+                   r.index != ref->index || r.payload != ref->payload) {
+          agree = false;
+          break;
+        }
+      }
+      if (!agree) break;
+    }
+    info.common_prefix[g] = k;
+  }
+
+  for (const RecoveryObserver& obs : recovery_observers_) obs(info);
+
+  // Ragged trim beyond the common prefix, then replay the prefix to the
+  // application: a rejoiner's recovered state is exactly the prefix.
+  // Delivered-but-not-durable pre-crash messages are lost; messages still
+  // in the failure-atomic send queues are re-sent in the recovery view.
+  for (net::NodeId m : members) {
+    for (std::size_t g = 0; g < num_subgroups_; ++g) {
+      auto* st = stores_[m][g].get();
+      if (st == nullptr) continue;
+      st->truncate_records(info.common_prefix[g]);
+      if (!handlers_[m][g]) continue;
+      for (const store::Record& r : st->records()) {
+        Delivery d;
+        d.subgroup = static_cast<SubgroupId>(g);
+        d.sender = r.sender;
+        d.seq = r.seq;
+        d.sender_index = r.index;
+        d.data = std::span<const std::byte>(r.payload);
+        d.sent_at = -1;  // replay: origin send time is not durable
+        handlers_[m][g](d);
+      }
+    }
+  }
+
+  // Drop queued sends the durable prefix already covers: a fast peer may
+  // have persisted a message whose sender crashed before self-delivering
+  // it (so it was never popped). Re-sending it would duplicate the replay.
+  for (net::NodeId m : members) {
+    for (std::size_t g = 0; g < num_subgroups_; ++g) {
+      const auto* st = stores_[m][g].get();
+      if (st == nullptr) continue;
+      std::uint64_t durable_own = 0;
+      for (const store::Record& r : st->records()) {
+        if (r.sender == m) ++durable_own;
+      }
+      auto& sq = queues_[m][g];
+      while (sq.popped < durable_own && !sq.q.empty()) {
+        sq.q.pop_front();
+        ++sq.popped;
+      }
+    }
+  }
+
+  // Retire the halted epoch's data plane.
+  epoch_cluster_->shutdown();
+  retired_.push_back(std::move(epoch_cluster_));
+
+  // Compose and install the recovery view.
+  View next;
+  next.epoch = view_.epoch + 1;
+  next.members = members;
+  for (net::NodeId id : view_.members) {
+    if (!(restarting_mask_ & bit(id))) next.departed.push_back(id);
+  }
+  view_ = std::move(next);
+  for (net::NodeId m : view_.members) {
+    alive_[m] = 1;
+    tracer_.record(m, trace::Stage::recover, now, 0, trace::kNoSubgroup,
+                   trace::kNoSender, -1, view_.epoch);
+  }
+
+  // New predicate generation: stale schedulers and pumps with one pending
+  // wake-up exit on the mismatch instead of running beside their
+  // replacements once stopped_ clears.
+  ++pred_gen_;
+  for (net::NodeId m : view_.members) {
+    MemberState& ms = mstate_[m];
+    ms.suspected_mask = 0;
+    ms.wedged = false;
+    ms.saw_proposal = false;
+    for (net::NodeId peer = 0; peer < cfg_.nodes; ++peer) {
+      ms.last_hb[peer] = member_sst_[m]->read_i64(peer, f_hb_);
+      ms.last_change[peer] = now;
+    }
+    sst::Sst& sst = *member_sst_[m];
+    sst.write_local_i64(f_susp_, 0);
+    sst.write_local_i64(f_installed_, view_.epoch);
+    sst.write_local_i64(f_restart_, 0);
+  }
+  for (net::NodeId m : view_.members) {
+    retired_preds_.push_back(std::move(member_preds_[m]));
+    setup_membership_predicates(m);
+  }
+  retired_preds_.push_back(std::move(coord_preds_));
+  setup_coordinator_predicates();
+
+  // Requeue undelivered messages; pumps are respawned below.
+  for (auto& per_node : queues_) {
+    for (auto& sq : per_node) {
+      sq.pump_running = false;
+      for (auto& e : sq.q) e.in_flight = false;
+    }
+  }
+
+  build_epoch_cluster();
+  stopped_ = false;
+  restarting_mask_ = 0;
+  ++recoveries_;
+
+  for (net::NodeId m : view_.members) {
+    engine_.spawn(member_preds_[m]->run());
+    for (std::size_t g = 0; g < num_subgroups_; ++g) {
+      auto& sq = queues_[m][g];
+      if (!sq.q.empty()) {
+        sq.pump_running = true;
+        engine_.spawn(pump_actor(m, g));
+      }
+    }
+  }
+  engine_.spawn(coord_preds_->run());
 }
 
 void ManagedGroup::throttle_cpu(net::NodeId node, sim::Nanos duration) {
@@ -647,30 +951,33 @@ void ManagedGroup::delay_predicate(net::NodeId node, const std::string& name,
   }
 }
 
-void ManagedGroup::capture_persistent_logs(net::NodeId node) {
-  if (epoch_cluster_ == nullptr || !epoch_cluster_->is_member(node)) return;
-  Node& n = epoch_cluster_->node(node);
-  for (std::size_t g = 0; g < num_subgroups_; ++g) {
-    if (n.find(epoch_subgroups_[g]) == nullptr) continue;
-    if (!n.find(epoch_subgroups_[g])->cfg.opts.persistent) continue;
-    const auto& log = n.persistent_log(epoch_subgroups_[g]);
-    auto& acc = plog_[node][g];
-    acc.insert(acc.end(), log.begin(), log.end());
+void ManagedGroup::drop_postplan_lane(net::NodeId node, int lane,
+                                      sim::Nanos duration) {
+  assert(node < cfg_.nodes);
+  const sim::Nanos until = engine_.now() + duration;
+  lane_drops_[node].push_back(LaneDrop{lane, until});
+  // Data-plane only: the membership registry's lanes carry heartbeats and
+  // wedge/trim pushes whose loss is modelled by link faults instead.
+  if (alive_[node] && epoch_cluster_ && epoch_cluster_->is_member(node)) {
+    epoch_cluster_->node(node).drop_postplan_lane(lane, until);
+  }
+}
+
+void ManagedGroup::force_spurious_evals(net::NodeId node, sim::Nanos duration,
+                                        sim::Nanos extra) {
+  assert(node < cfg_.nodes);
+  const sim::Nanos until = engine_.now() + duration;
+  spurious_evals_[node].push_back(SpuriousEvals{until, extra});
+  if (alive_[node] && epoch_cluster_ && epoch_cluster_->is_member(node)) {
+    epoch_cluster_->node(node).force_spurious_evals(until, extra);
   }
 }
 
 std::vector<std::vector<std::byte>> ManagedGroup::persistent_log(
     net::NodeId node, std::size_t subgroup_index) const {
-  std::vector<std::vector<std::byte>> out = plog_[node][subgroup_index];
-  if (epoch_cluster_ && epoch_cluster_->is_member(node)) {
-    const Node& n =
-        const_cast<Cluster&>(*epoch_cluster_).node(node);
-    const SubgroupState* s = n.find(epoch_subgroups_[subgroup_index]);
-    if (s != nullptr && s->cfg.opts.persistent) {
-      out.insert(out.end(), s->log.begin(), s->log.end());
-    }
-  }
-  return out;
+  const auto& slot = stores_[node][subgroup_index];
+  if (!slot) return {};
+  return slot->payloads();
 }
 
 std::string ManagedGroup::diagnostics_dump() const {
@@ -722,7 +1029,9 @@ void ManagedGroup::leave(net::NodeId node) {
 }
 
 void ManagedGroup::shutdown() {
-  if (stopped_) return;
+  if (terminated_) return;
+  terminated_ = true;
+  if (stopped_) return;  // halted: pending events die with the engine
   stopped_ = true;
   if (epoch_cluster_) {
     for (net::NodeId id : view_.members) {

@@ -63,7 +63,24 @@ class ManagedGroup {
     sst::Discipline discipline = sst::Discipline::strict_rr;
     /// DRR only: scan-lane probe period for demoted subgroups.
     sim::Nanos scan_interval = sim::micros(25);
+    /// Total-failure recovery: how long after the last restart() the
+    /// recovery coordinator waits for further rejoiners before computing
+    /// the common durable prefix and installing the recovery view.
+    sim::Nanos restart_settle = sim::micros(800);
   };
+
+  /// What the recovery coordinator saw at a total-failure restart: the
+  /// rejoining member set, every node's pre-recovery durable log (the
+  /// optimistic device view, indexed [subgroup_index][node]), and the
+  /// longest common durable prefix the members agreed on per subgroup.
+  /// Snapshotted *before* the ragged trim and the replay.
+  struct RecoveryInfo {
+    std::uint32_t epoch = 0;  // the recovery view's epoch
+    std::vector<net::NodeId> members;
+    std::vector<std::vector<std::vector<std::vector<std::byte>>>> pre_logs;
+    std::vector<std::size_t> common_prefix;  // per subgroup_index
+  };
+  using RecoveryObserver = std::function<void(const RecoveryInfo&)>;
 
   ManagedGroup(Config cfg, SubgroupLayout layout);
   ~ManagedGroup();
@@ -104,6 +121,32 @@ class ManagedGroup {
   /// members detect the failure and reconfigure.
   void crash(net::NodeId node);
 
+  /// Restart `node` after a total failure: recover its durable logs
+  /// (truncating any torn flush tail), reconnect it to the fabric, and
+  /// announce its durable version vector through the membership SST. Once
+  /// the group has halted and no further restart arrives for
+  /// Config::restart_settle, the rejoiners agree on the longest common
+  /// durable prefix, replay it to the delivery handlers, and resume in a
+  /// fresh epoch. Calling this on a node that is still alive models a
+  /// process restart: the node crashes first (torn tail and all).
+  /// Returns false if the node is already rejoining or the group has been
+  /// shut down for good.
+  bool restart(net::NodeId node);
+
+  /// Observer invoked inside each total-failure recovery, after the
+  /// rejoiners exchanged version vectors but before the trim and replay.
+  void add_recovery_observer(RecoveryObserver obs) {
+    recovery_observers_.push_back(std::move(obs));
+  }
+
+  /// True while the group is halted with restarted nodes waiting for the
+  /// recovery view to be computed.
+  bool recovery_pending() const noexcept {
+    return stopped_ && !terminated_ && restarting_mask_ != 0;
+  }
+  /// Completed total-failure recoveries over the group's lifetime.
+  std::uint32_t recoveries() const noexcept { return recoveries_; }
+
   /// Graceful leave: the node wedges cleanly and departs with no message
   /// loss (modeled as an announced suspicion).
   void leave(net::NodeId node);
@@ -128,12 +171,33 @@ class ManagedGroup {
   void delay_predicate(net::NodeId node, const std::string& name,
                        sim::Nanos duration, sim::Nanos extra);
 
-  /// Persistent subgroups: `node`'s accumulated on-disk log for subgroup
-  /// `subgroup_index` across every epoch it was a member of. Flushed
-  /// entries only — a crash loses the unflushed tail, a survivor's queue is
-  /// flushed inside each install barrier.
+  /// Fault injection: hold back `node`'s data-plane PostPlan actions on
+  /// `lane` for `duration` (a stalled QP lane; held posts release in lane
+  /// order after the window). The window outlives view changes.
+  void drop_postplan_lane(net::NodeId node, int lane, sim::Nanos duration);
+
+  /// Fault injection: for `duration`, `node`'s data-plane scheduler sees
+  /// phantom doorbell rings — idle backoff never engages and every round
+  /// burns `extra` wasted compute (spurious predicate evaluations). The
+  /// window outlives view changes.
+  void force_spurious_evals(net::NodeId node, sim::Nanos duration,
+                            sim::Nanos extra);
+
+  /// Persistent subgroups: `node`'s on-disk log for subgroup
+  /// `subgroup_index` across every epoch it was a member of, as the device
+  /// optimistically sees it (an in-flight batch included — torn tails are
+  /// resolved at restart, not at crash time). A survivor's queue is flushed
+  /// inside each install barrier.
   std::vector<std::vector<std::byte>> persistent_log(
       net::NodeId node, std::size_t subgroup_index) const;
+
+  /// The versioned log behind persistent_log(): committed/staged split,
+  /// segment directory and version vector. Null for non-persistent
+  /// subgroups (or before the node's first persistent epoch).
+  const store::VersionedLog* durable_store(net::NodeId node,
+                                           std::size_t subgroup_index) const {
+    return stores_[node][subgroup_index].get();
+  }
 
   std::size_t num_subgroups() const noexcept { return num_subgroups_; }
 
@@ -151,6 +215,11 @@ class ManagedGroup {
   struct SendQueue {
     std::deque<PendingMessage> q;
     bool pump_running = false;
+    // Lifetime self-delivery pops: the queue front always holds the
+    // sender's message number `popped`. Recovery compares it against the
+    // durable prefix to drop entries the replay already covers (a fast
+    // peer may have persisted a message its sender never saw delivered).
+    std::uint64_t popped = 0;
   };
 
   // Membership service per-node state.
@@ -174,6 +243,11 @@ class ManagedGroup {
   /// and the install trigger that fires once per epoch transition and is
   /// re-armed by install_next_view().
   void setup_coordinator_predicates();
+  /// The total-failure recovery barrier: a RECURRENT predicate on its own
+  /// paced scheduler (spawned lazily by the first restart()) that waits
+  /// for the restart set to settle, then performs the recovery.
+  void setup_recovery_predicates();
+  void perform_recovery();
   sim::Co<> pump_actor(net::NodeId id, std::size_t sg_index);
 
   void wedge_node(net::NodeId id);
@@ -182,9 +256,6 @@ class ManagedGroup {
   void build_epoch_cluster();
   std::uint64_t all_suspicions() const;
   net::NodeId current_leader(std::uint64_t suspected) const;
-  /// Fold `node`'s current-epoch durable logs into the cross-epoch
-  /// accumulator (called for every epoch member at install time).
-  void capture_persistent_logs(net::NodeId node);
   std::string diagnostics_dump() const;
 
   Config cfg_;
@@ -197,15 +268,29 @@ class ManagedGroup {
   View view_;
   std::vector<char> alive_;
   bool changing_ = false;
-  bool stopped_ = false;
+  bool stopped_ = false;     // halted (total failure); recovery can clear it
+  bool terminated_ = false;  // shut down for good; nothing restarts after
   std::size_t num_subgroups_ = 0;
+
+  // Total-failure recovery state.
+  std::uint64_t restarting_mask_ = 0;   // nodes waiting in the restart set
+  sim::Nanos last_restart_at_ = 0;
+  std::uint32_t recoveries_ = 0;
+  /// Predicate generation: bumped by every recovery. Schedulers and pump
+  /// actors capture the generation they were spawned under and exit when
+  /// it moves on, so a stale coroutine with one pending wake-up cannot run
+  /// alongside its respawned replacement once stopped_ is cleared.
+  std::uint64_t pred_gen_ = 0;
+  std::vector<RecoveryObserver> recovery_observers_;
 
   // Membership SST (fixed over the lifetime: rows for every node ever).
   std::vector<std::unique_ptr<sst::Sst>> member_sst_;
   sst::FieldId f_hb_, f_susp_, f_wedged_epoch_, f_installed_;
   sst::FieldId f_prop_epoch_, f_prop_failed_, f_prop_guard_;
+  sst::FieldId f_restart_;              // restart announcement flag
   std::vector<sst::FieldId> f_frozen_;  // per subgroup
   std::vector<sst::FieldId> f_trim_;    // per subgroup (leader proposal)
+  std::vector<sst::FieldId> f_durable_;  // per subgroup (committed records)
   std::vector<MemberState> mstate_;
 
   // Membership predicate schedulers (paced mode): one per member plus the
@@ -215,7 +300,11 @@ class ManagedGroup {
   std::vector<sim::Rng> membership_rng_;    // per-member pacing jitter
   std::vector<std::unique_ptr<sst::Predicates>> member_preds_;
   std::unique_ptr<sst::Predicates> coord_preds_;
+  std::unique_ptr<sst::Predicates> recovery_preds_;
   sst::Predicates::PredId install_pred_ = 0;
+  // Pre-recovery predicate schedulers: kept alive like retired_ because a
+  // stale run() coroutine may still have one pending wake-up queued.
+  std::vector<std::unique_ptr<sst::Predicates>> retired_preds_;
 
   std::unique_ptr<Cluster> epoch_cluster_;
   std::vector<core::SubgroupId> epoch_subgroups_;  // index -> SubgroupId
@@ -239,9 +328,22 @@ class ManagedGroup {
     sim::Nanos extra = 0;
   };
   std::vector<std::vector<PredDelay>> pred_delays_;  // per node
+  struct LaneDrop {
+    int lane = 0;
+    sim::Nanos until = 0;
+  };
+  std::vector<std::vector<LaneDrop>> lane_drops_;  // per node
+  struct SpuriousEvals {
+    sim::Nanos until = 0;
+    sim::Nanos extra = 0;
+  };
+  std::vector<std::vector<SpuriousEvals>> spurious_evals_;  // per node
 
-  // (node, sg_index) -> durable log accumulated across retired epochs.
-  std::vector<std::vector<std::vector<std::vector<std::byte>>>> plog_;
+  // (node, sg_index) -> simulated-SSD versioned log. Owned here — one
+  // store per node survives every epoch transition (and, unlike the Node
+  // objects, a crash): each epoch cluster borrows it through
+  // Cluster::set_store_provider and stamps its records with the epoch.
+  std::vector<std::vector<std::unique_ptr<store::VersionedLog>>> stores_;
 };
 
 }  // namespace spindle::core

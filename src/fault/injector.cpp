@@ -46,6 +46,20 @@ void FaultInjector::fire(const FaultEvent& e) {
     case FaultKind::predicate_delay:
       group_.delay_predicate(e.node, e.pred, e.duration, e.extra);
       break;
+    case FaultKind::postplan_drop:
+      group_.drop_postplan_lane(e.node, e.lane, e.duration);
+      break;
+    case FaultKind::spurious_eval:
+      group_.force_spurious_evals(e.node, e.duration, e.extra);
+      break;
+    case FaultKind::total_failure:
+      // The episode's crash half: same fail-stop as crash, tagged so the
+      // plan dump and coverage accounting can tell episodes apart.
+      group_.crash(e.node);
+      break;
+    case FaultKind::restart:
+      group_.restart(e.node);
+      break;
   }
 }
 

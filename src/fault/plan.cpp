@@ -22,6 +22,14 @@ const char* to_string(FaultKind k) {
       return "ssd_fault";
     case FaultKind::predicate_delay:
       return "predicate_delay";
+    case FaultKind::postplan_drop:
+      return "postplan_drop";
+    case FaultKind::spurious_eval:
+      return "spurious_eval";
+    case FaultKind::total_failure:
+      return "total_failure";
+    case FaultKind::restart:
+      return "restart";
   }
   return "?";
 }
@@ -48,6 +56,16 @@ std::string FaultEvent::to_string() const {
     case FaultKind::predicate_delay:
       os << " pred=" << pred << " dur=" << duration << "ns extra=" << extra
          << "ns";
+      break;
+    case FaultKind::postplan_drop:
+      os << " lane=" << lane << " dur=" << duration << "ns";
+      break;
+    case FaultKind::spurious_eval:
+      os << " dur=" << duration << "ns extra=" << extra << "ns";
+      break;
+    case FaultKind::total_failure:
+      break;
+    case FaultKind::restart:
       break;
   }
   return os.str();
@@ -156,6 +174,85 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomSpec& spec) {
         break;
     }
     plan.events.push_back(e);
+  }
+
+  // Scheduler-infrastructure faults, drawn from an independent stream so
+  // the crash/degradation draws above stay bit-identical to older sweeps.
+  {
+    sim::Rng ext(seed ^ 0x9e37f1ULL);
+    if (ext.below(4) == 0) {
+      FaultEvent e;
+      e.kind = FaultKind::postplan_drop;
+      e.node = static_cast<net::NodeId>(ext.below(spec.nodes));
+      e.at = spec.min_at +
+             static_cast<sim::Nanos>(ext.below(
+                 static_cast<std::uint64_t>(spec.horizon - spec.min_at)));
+      e.lane = static_cast<int>(ext.below(3));  // send / ack / delivered
+      // Mostly below the failure timeout (a hiccup the pipeline absorbs),
+      // the tail above it (held acks can force a view change).
+      e.duration = static_cast<sim::Nanos>(
+          ext.below(static_cast<std::uint64_t>(spec.failure_timeout)) +
+          ext.below(static_cast<std::uint64_t>(spec.failure_timeout)));
+      plan.events.push_back(e);
+    }
+    if (ext.below(4) == 0) {
+      FaultEvent e;
+      e.kind = FaultKind::spurious_eval;
+      e.node = static_cast<net::NodeId>(ext.below(spec.nodes));
+      e.at = spec.min_at +
+             static_cast<sim::Nanos>(ext.below(
+                 static_cast<std::uint64_t>(spec.horizon - spec.min_at)));
+      e.duration = static_cast<sim::Nanos>(
+          ext.below(static_cast<std::uint64_t>(spec.horizon / 2)));
+      e.extra = static_cast<sim::Nanos>(200 + ext.below(5'000));
+      plan.events.push_back(e);
+    }
+  }
+
+  // Total-failure episodes (opt-in): every node crashes inside half a
+  // failure window late in the horizon, then most nodes restart after the
+  // dust settles and the group recovers from its durable logs. Also drawn
+  // from an independent stream: enabling episodes must not reshuffle the
+  // ordinary fault draws of the same seed.
+  if (spec.allow_total_failure) {
+    sim::Rng tf(seed ^ 0x7e57a11ULL);
+    if (tf.below(3) == 0) {
+      const sim::Nanos start =
+          spec.horizon / 2 +
+          static_cast<sim::Nanos>(
+              tf.below(static_cast<std::uint64_t>(spec.horizon / 2)));
+      sim::Nanos last_crash = start;
+      for (std::size_t n = 0; n < spec.nodes; ++n) {
+        FaultEvent e;
+        e.kind = FaultKind::total_failure;
+        e.node = static_cast<net::NodeId>(n);
+        e.at = start + static_cast<sim::Nanos>(tf.below(
+                           static_cast<std::uint64_t>(
+                               spec.failure_timeout / 2 + 1)));
+        last_crash = std::max(last_crash, e.at);
+        plan.events.push_back(e);
+      }
+      // Staggered restarts, each node rejoining with probability 3/4 (a
+      // machine that never comes back exercises the dead-sender trim).
+      // The last node is forced back in if the draw left nobody to
+      // recover.
+      const sim::Nanos restart_base = last_crash + 2 * spec.failure_timeout;
+      bool any_restart = false;
+      for (std::size_t n = 0; n < spec.nodes; ++n) {
+        const bool rejoin = tf.below(4) != 0;
+        const sim::Nanos at =
+            restart_base + static_cast<sim::Nanos>(tf.below(
+                               static_cast<std::uint64_t>(
+                                   spec.failure_timeout + 1)));
+        if (!rejoin && (any_restart || n + 1 < spec.nodes)) continue;
+        FaultEvent e;
+        e.kind = FaultKind::restart;
+        e.node = static_cast<net::NodeId>(n);
+        e.at = at;
+        plan.events.push_back(e);
+        any_restart = true;
+      }
+    }
   }
 
   std::sort(plan.events.begin(), plan.events.end(),

@@ -19,6 +19,11 @@ enum class FaultKind : std::uint8_t {
   slow_cpu,    // deschedule the node's threads (slow host / GC pause)
   ssd_fault,   // persistence-flush latency spike at one node
   predicate_delay,  // one named predicate's fires charge extra compute
+  postplan_drop,    // one PostPlan lane's posts held back (stalled QP lane)
+  spurious_eval,    // phantom doorbells: wasted eval rounds, no idle backoff
+  total_failure,    // episode marker: this crash is part of a whole-group
+                    //   outage the plan will later restart from
+  restart,          // rejoin a crashed node from its durable log
 };
 
 const char* to_string(FaultKind k);
@@ -31,8 +36,10 @@ struct FaultEvent {
   sim::Nanos duration = 0;    // transient faults: window length (crash: n/a)
   double factor = 1.0;        // link_fault: latency multiplier
   sim::Nanos jitter = 0;      // link_fault: uniform extra latency bound
-  sim::Nanos extra = 0;       // ssd_fault / predicate_delay: added latency
+  sim::Nanos extra = 0;       // ssd_fault / predicate_delay / spurious_eval:
+                              //   added latency (per op / fire / round)
   std::string pred;           // predicate_delay: target predicate name
+  int lane = 0;               // postplan_drop: afflicted PostPlan lane
 
   std::string to_string() const;
 };
@@ -57,6 +64,11 @@ struct FaultPlan {
     // draws stay below the timeout (benign) and some exceed it (false
     // suspicion of a live node).
     sim::Nanos failure_timeout = sim::micros(400);
+    // Opt-in: some seeds additionally draw a total-failure episode — every
+    // node crashes (staggered inside one failure window), then most of
+    // them restart and the group recovers from the durable logs. Off by
+    // default so existing sweeps keep their exact schedules.
+    bool allow_total_failure = false;
   };
 
   static FaultPlan random(std::uint64_t seed, const RandomSpec& spec);

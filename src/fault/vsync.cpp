@@ -52,6 +52,19 @@ void VsyncChecker::attach(core::ManagedGroup& group) {
       });
     }
   }
+  // Total-failure recovery: archive the pre-crash segment and start a
+  // fresh one. The observer fires before the replay, so the recovered
+  // prefix is re-observed at the head of the new segment.
+  group.add_recovery_observer(
+      [this](const core::ManagedGroup::RecoveryInfo& info) {
+        Episode e;
+        e.info = info;
+        e.pre_seq = seq_;
+        episodes_.push_back(std::move(e));
+        for (auto& per_node : seq_) {
+          for (auto& s : per_node) s.clear();
+        }
+      });
 }
 
 std::uint64_t VsyncChecker::note_send(net::NodeId sender, std::size_t sg) {
@@ -69,6 +82,7 @@ std::uint64_t VsyncChecker::delivered_from(net::NodeId node, std::size_t sg,
 
 std::vector<std::string> VsyncChecker::check(
     const core::ManagedGroup& group) const {
+  if (!episodes_.empty()) return check_episodes(group);
   std::vector<std::string> violations;
   const auto fail = [&](std::string msg) {
     violations.push_back(std::move(msg));
@@ -197,6 +211,299 @@ std::vector<std::string> VsyncChecker::check(
     }
   }
   return violations;
+}
+
+std::vector<std::string> VsyncChecker::check_episodes(
+    const core::ManagedGroup& group) const {
+  std::vector<std::string> violations;
+  const auto fail = [&](std::string msg) {
+    violations.push_back(std::move(msg));
+  };
+  const std::vector<net::NodeId>& final_members = group.view().members;
+  const bool halted = group.halted();
+  const auto is_final = [&](net::NodeId n) {
+    return !halted &&
+           std::find(final_members.begin(), final_members.end(), n) !=
+               final_members.end();
+  };
+  const auto prefix_of = [](const std::vector<Tag>& a,
+                            const std::vector<Tag>& b) {
+    return a.size() <= b.size() && std::equal(a.begin(), a.end(), b.begin());
+  };
+  const Episode& last = episodes_.back();
+  const auto is_member_of = [](const core::ManagedGroup::RecoveryInfo& info,
+                               net::NodeId n) {
+    return std::find(info.members.begin(), info.members.end(), n) !=
+           info.members.end();
+  };
+
+  for (std::size_t g = 0; g < subgroups_; ++g) {
+    std::ostringstream pre;
+    pre << "sg" << g << ": ";
+
+    // (6) archived segments: all nodes' observations pairwise prefixes
+    // (everyone died — nobody owes completeness).
+    for (std::size_t ei = 0; ei < episodes_.size(); ++ei) {
+      const Episode& e = episodes_[ei];
+      for (net::NodeId i = 0; i < nodes_; ++i) {
+        for (net::NodeId j = i + 1; j < nodes_; ++j) {
+          if (!prefix_of(e.pre_seq[i][g], e.pre_seq[j][g]) &&
+              !prefix_of(e.pre_seq[j][g], e.pre_seq[i][g])) {
+            std::ostringstream os;
+            os << pre.str() << "episode " << ei << ": node" << i
+               << " and node" << j << " pre-crash sequences diverge";
+            fail(os.str());
+          }
+        }
+      }
+    }
+
+    // (7) the recovered prefix is common, identical, and durable: each
+    // rejoiner's pre-crash log covers it, all rejoiners agree on its
+    // content, and the post-recovery log still starts with it.
+    for (std::size_t ei = 0; ei < episodes_.size(); ++ei) {
+      const Episode& e = episodes_[ei];
+      const std::size_t lcp = e.info.common_prefix[g];
+      const std::vector<std::vector<std::byte>>* ref = nullptr;
+      net::NodeId ref_node = 0;
+      for (net::NodeId m : e.info.members) {
+        if (e.info.pre_logs[g][m].empty() && lcp == 0) continue;
+        if (e.info.pre_logs[g][m].size() < lcp) {
+          std::ostringstream os;
+          os << pre.str() << "episode " << ei << ": rejoiner node" << m
+             << " pre-crash log (len " << e.info.pre_logs[g][m].size()
+             << ") is shorter than the common prefix (" << lcp << ")";
+          fail(os.str());
+          continue;
+        }
+        if (ref == nullptr) {
+          ref = &e.info.pre_logs[g][m];
+          ref_node = m;
+          continue;
+        }
+        if (!std::equal(ref->begin(), ref->begin() + static_cast<long>(lcp),
+                        e.info.pre_logs[g][m].begin())) {
+          std::ostringstream os;
+          os << pre.str() << "episode " << ei << ": node" << ref_node
+             << " and node" << m << " disagree inside the common prefix";
+          fail(os.str());
+        }
+      }
+      if (ref != nullptr && ei + 1 == episodes_.size()) {
+        for (net::NodeId m : e.info.members) {
+          const auto log = group.persistent_log(m, g);
+          if (log.size() < lcp ||
+              !std::equal(ref->begin(),
+                          ref->begin() + static_cast<long>(lcp),
+                          log.begin())) {
+            std::ostringstream os;
+            os << pre.str() << "node" << m
+               << " post-recovery log does not start with the recovered "
+                  "prefix (len "
+               << lcp << ")";
+            fail(os.str());
+          }
+        }
+      }
+    }
+
+    // (1) final members observe identical final-segment sequences.
+    std::vector<net::NodeId> finals;
+    for (net::NodeId n = 0; n < nodes_; ++n) {
+      if (is_final(n)) finals.push_back(n);
+    }
+    for (std::size_t i = 1; i < finals.size(); ++i) {
+      if (seq_[finals[i]][g] != seq_[finals[0]][g]) {
+        std::ostringstream os;
+        os << pre.str() << "final member node" << finals[i]
+           << " sequence (len " << seq_[finals[i]][g].size()
+           << ") differs from node" << finals[0] << " (len "
+           << seq_[finals[0]][g].size() << ")";
+        fail(os.str());
+      }
+    }
+    // Non-final nodes of the last segment are still held to prefix
+    // agreement against the final members (or pairwise when halted).
+    for (net::NodeId i = 0; i < nodes_; ++i) {
+      for (net::NodeId j = i + 1; j < nodes_; ++j) {
+        if (is_final(i) && is_final(j)) continue;
+        if (!prefix_of(seq_[i][g], seq_[j][g]) &&
+            !prefix_of(seq_[j][g], seq_[i][g])) {
+          std::ostringstream os;
+          os << pre.str() << "final segment: node" << i << " and node" << j
+             << " sequences diverge";
+          fail(os.str());
+        }
+      }
+    }
+
+    // (8) the recovery loss rule, strongest in the single-episode case:
+    // per sender the final segment re-observes [0 .. durable) and resumes
+    // at exactly the sender's pre-crash self-delivered count (nothing the
+    // durable log covered is lost; nothing past the send queue's progress
+    // is invented). Rejoined senders owe completeness through sent_.
+    if (!finals.empty()) {
+      std::vector<std::uint64_t> d, resume;
+      current_shape(g, d, resume);
+      const std::vector<Tag>& ref = seq_[finals[0]][g];
+      for (net::NodeId s = 0; s < nodes_; ++s) {
+        std::vector<std::uint64_t> idx;
+        for (const Tag& t : ref) {
+          if (t.sender == s) idx.push_back(t.index);
+        }
+        const bool rejoined = is_member_of(last.info, s);
+        std::vector<std::uint64_t> expect;
+        for (std::uint64_t k = 0; k < d[s]; ++k) expect.push_back(k);
+        if (rejoined) {
+          for (std::uint64_t k = resume[s]; k < sent_[g][s]; ++k) {
+            expect.push_back(k);
+          }
+        }
+        // A rejoiner that departed again (post-recovery suspicion) owes
+        // no completeness: its resumed stream may cut off early, but what
+        // was observed must still be the head of the expected shape and
+        // cover the replayed prefix.
+        const bool departed_again = rejoined && !is_final(s);
+        const bool ok =
+            departed_again
+                ? idx.size() >= d[s] && idx.size() <= expect.size() &&
+                      std::equal(idx.begin(), idx.end(), expect.begin())
+                : idx == expect;
+        if (!ok) {
+          std::ostringstream os;
+          os << pre.str() << "sender node" << s << " final-segment indices "
+             << "violate the recovery shape: got [";
+          for (std::size_t k = 0; k < idx.size(); ++k) {
+            os << (k ? "," : "") << idx[k];
+          }
+          os << "], expected [0.." << d[s] << ")";
+          if (rejoined) {
+            os << " ++ [" << resume[s] << ".." << sent_[g][s] << ")";
+          }
+          fail(os.str());
+        }
+      }
+    }
+
+    // (5) persistent logs, episode-aware: rejoiners agree pairwise as
+    // prefixes; dead nodes keep their pre-crash logs, which agree with a
+    // rejoiner's log only up to the recovered prefix (a dead node's
+    // durable suffix was legitimately discarded).
+    if (persistent_[g]) {
+      const std::size_t lcp = last.info.common_prefix[g];
+      std::vector<std::vector<std::vector<std::byte>>> logs(nodes_);
+      for (net::NodeId n = 0; n < nodes_; ++n) {
+        logs[n] = group.persistent_log(n, g);
+      }
+      const auto log_prefix = [](const auto& a, const auto& b) {
+        return a.size() <= b.size() &&
+               std::equal(a.begin(), a.end(), b.begin());
+      };
+      for (net::NodeId i = 0; i < nodes_; ++i) {
+        for (net::NodeId j = i + 1; j < nodes_; ++j) {
+          const bool mi = is_member_of(last.info, i);
+          const bool mj = is_member_of(last.info, j);
+          if (mi != mj) {
+            // Cross rejoiner/dead: agreement only inside the prefix.
+            const std::size_t overlap =
+                std::min({logs[i].size(), logs[j].size(), lcp});
+            if (!std::equal(logs[i].begin(),
+                            logs[i].begin() + static_cast<long>(overlap),
+                            logs[j].begin())) {
+              std::ostringstream os;
+              os << pre.str() << "node" << i << " and node" << j
+                 << " logs disagree inside the recovered prefix";
+              fail(os.str());
+            }
+            continue;
+          }
+          if (!log_prefix(logs[i], logs[j]) &&
+              !log_prefix(logs[j], logs[i])) {
+            std::ostringstream os;
+            os << pre.str() << "persistent logs of node" << i << " (len "
+               << logs[i].size() << ") and node" << j << " (len "
+               << logs[j].size() << ") diverge";
+            fail(os.str());
+          }
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<std::uint64_t> VsyncChecker::durable_of(const Episode& e,
+                                                    std::size_t g) const {
+  // The prefix respects delivery order, so a sender's messages inside it
+  // are exactly the indices [0 .. durable[s]).
+  std::vector<std::uint64_t> d(nodes_, 0);
+  const std::size_t lcp = e.info.common_prefix[g];
+  const std::vector<std::vector<std::byte>>* ref = nullptr;
+  for (net::NodeId m : e.info.members) {
+    if (e.info.pre_logs[g][m].size() >= lcp) {
+      ref = &e.info.pre_logs[g][m];
+      break;
+    }
+  }
+  if (ref != nullptr) {
+    for (std::size_t k = 0; k < lcp; ++k) {
+      const Tag t = decode((*ref)[k]);
+      if (t.sender < nodes_) ++d[t.sender];
+    }
+  }
+  return d;
+}
+
+void VsyncChecker::current_shape(std::size_t g,
+                                 std::vector<std::uint64_t>& durable,
+                                 std::vector<std::uint64_t>& resume) const {
+  const auto member = [](const core::ManagedGroup::RecoveryInfo& info,
+                         net::NodeId n) {
+    return std::find(info.members.begin(), info.members.end(), n) !=
+           info.members.end();
+  };
+  durable = durable_of(episodes_.back(), g);
+  // Reconstruct each sender's queue-front message number: pops are
+  // self-deliveries (replays don't pop), and every recovery the sender
+  // joined advances the front past that recovery's durable prefix (the
+  // group drops queued entries the replay already covers).
+  resume.assign(nodes_, 0);
+  for (std::size_t ei = 0; ei < episodes_.size(); ++ei) {
+    const Episode& e = episodes_[ei];
+    const std::vector<std::uint64_t> replayed =
+        ei == 0 ? std::vector<std::uint64_t>(nodes_, 0)
+                : durable_of(episodes_[ei - 1], g);
+    for (net::NodeId s = 0; s < nodes_; ++s) {
+      std::uint64_t self = 0;
+      for (const Tag& t : e.pre_seq[s][g]) {
+        if (t.sender == s) ++self;
+      }
+      if (ei > 0 && member(episodes_[ei - 1].info, s)) {
+        resume[s] = std::max(resume[s], replayed[s]);
+        self = self > replayed[s] ? self - replayed[s] : 0;
+      }
+      resume[s] += self;
+    }
+  }
+  for (net::NodeId s = 0; s < nodes_; ++s) {
+    if (member(episodes_.back().info, s)) {
+      resume[s] = std::max(resume[s], durable[s]);
+    }
+  }
+}
+
+std::uint64_t VsyncChecker::expected_current_from(std::size_t sg,
+                                                  net::NodeId sender,
+                                                  std::uint64_t sent) const {
+  if (episodes_.empty()) return sent;
+  std::vector<std::uint64_t> durable, resume;
+  current_shape(sg, durable, resume);
+  const auto& members = episodes_.back().info.members;
+  if (std::find(members.begin(), members.end(), sender) == members.end()) {
+    return durable[sender];
+  }
+  return durable[sender] +
+         (sent > resume[sender] ? sent - resume[sender] : 0);
 }
 
 }  // namespace spindle::fault

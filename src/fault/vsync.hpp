@@ -27,6 +27,24 @@ namespace spindle::fault {
 ///   5. for persistent subgroups, on-disk logs agree pairwise as prefixes
 ///      across all nodes (a crash may truncate, never diverge).
 ///
+/// Total-failure recovery: the checker registers a recovery observer, so a
+/// run may contain *episodes* — a pre-crash segment archived at each
+/// recovery, then a fresh segment for the recovered group. Episode-aware
+/// checks replace the plain contract:
+///
+///   6. within every archived segment, all nodes' sequences are pairwise
+///      prefixes (everyone died; nobody is held to completeness);
+///   7. the recovered prefix equals the longest common durable prefix of
+///      the rejoiners' logs — identical across members, and a prefix of
+///      every member's pre-crash durable log;
+///   8. after recovery, each node re-observes exactly the common prefix
+///      and then resumes: per sender the delivered indices are
+///      [0 .. durable) ++ [resumed ..), where `resumed` is the count the
+///      sender had self-delivered before the crash (the
+///      delivered-but-not-durable suffix is lost — durable Paxos loses
+///      nothing it acknowledged, i.e. nothing below the persisted
+///      frontier); completeness then applies to rejoined senders.
+///
 /// check() returns human-readable violation strings; empty means pass.
 class VsyncChecker {
  public:
@@ -60,22 +78,56 @@ class VsyncChecker {
   /// set) and the persistent logs.
   std::vector<std::string> check(const core::ManagedGroup& group) const;
 
+  /// Total-failure recoveries observed so far.
+  std::size_t episodes() const { return episodes_.size(); }
+
+  /// How many of `sender`'s messages a member of the last recovery view
+  /// should eventually deliver in the current segment, given that the
+  /// sender submitted `sent` messages in total: the replayed durable
+  /// prefix plus the resumed tail (rejoined senders), or the prefix alone
+  /// (senders that never restarted). Equals `sent` when no recovery
+  /// happened. Drives chaos-run completion detection.
+  std::uint64_t expected_current_from(std::size_t sg, net::NodeId sender,
+                                      std::uint64_t sent) const;
+
  private:
   struct Tag {
     std::uint64_t sender = 0;
     std::uint64_t index = 0;
     bool operator==(const Tag&) const = default;
   };
+  /// One archived pre-crash segment plus what the recovery computed.
+  struct Episode {
+    core::ManagedGroup::RecoveryInfo info;
+    // [node][sg] -> the deliveries each node observed before the crash
+    // (since the previous episode, if any).
+    std::vector<std::vector<std::vector<Tag>>> pre_seq;
+  };
   static Tag decode(std::span<const std::byte> data);
   static std::string tag_str(const Tag& t);
+  /// The episode-aware contract (invariants 6-8 plus the per-segment
+  /// versions of 1/3/5); used when at least one recovery was observed.
+  std::vector<std::string> check_episodes(
+      const core::ManagedGroup& group) const;
+  /// Per-sender message count inside episode `e`'s common durable prefix.
+  std::vector<std::uint64_t> durable_of(const Episode& e,
+                                        std::size_t g) const;
+  /// Per-sender recovery shape for the current segment: `durable` = the
+  /// replayed prefix counts, `resume` = the message number each rejoined
+  /// sender's queue resumes from (self-delivery pops advanced it; every
+  /// recovery the sender joined jumps it past the durable prefix).
+  void current_shape(std::size_t g, std::vector<std::uint64_t>& durable,
+                     std::vector<std::uint64_t>& resume) const;
 
   std::size_t nodes_ = 0;
   std::size_t subgroups_ = 0;
-  // [node][sg] -> delivery sequence observed across all views.
+  // [node][sg] -> delivery sequence observed in the current segment (the
+  // whole run when no total failure occurred).
   std::vector<std::vector<std::vector<Tag>>> seq_;
   // [sg][sender] -> number of messages submitted.
   std::vector<std::vector<std::uint64_t>> sent_;
   std::vector<char> persistent_;  // per subgroup
+  std::vector<Episode> episodes_;
 };
 
 }  // namespace spindle::fault

@@ -182,6 +182,13 @@ void Fabric::isolate(NodeId node) {
   egress_queue_[node].clear();
 }
 
+void Fabric::restore(NodeId node) {
+  assert(node < n_);
+  isolated_[node] = 0;
+  egress_paused_[node] = 0;
+  assert(egress_queue_[node].empty());
+}
+
 void Fabric::pause_egress(NodeId node) {
   assert(node < n_);
   egress_paused_[node] = 1;

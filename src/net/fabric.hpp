@@ -84,6 +84,11 @@ class Fabric {
   void isolate(NodeId node);
   bool is_isolated(NodeId node) const { return isolated_[node]; }
 
+  /// Reconnect a previously isolated node (a process restart brought its
+  /// NIC back). Nothing queued survives: the node rejoins with an empty
+  /// send queue and fresh traffic only.
+  void restore(NodeId node);
+
   /// Degraded-mode fault injection: stall all egress of `node` ("NIC
   /// stall"). Writes posted while stalled queue up in post order — the
   /// NIC's send queue backs up, nothing is lost — and drain through the

@@ -52,6 +52,29 @@ sim::Nanos PostPlan::issue() {
   return post;
 }
 
+void PostPlan::extract_if(const std::function<bool(int)>& pred,
+                          PostPlan& out) {
+  std::vector<Entry> keep;
+  keep.reserve(entries_.size());
+  for (Entry& e : entries_) {
+    if (pred(e.lane)) {
+      out.entries_.push_back(std::move(e));
+    } else {
+      keep.push_back(std::move(e));
+    }
+  }
+  entries_ = std::move(keep);
+}
+
+void PostPlan::splice_front(PostPlan& from) {
+  if (from.entries_.empty()) return;
+  from.entries_.insert(from.entries_.end(),
+                       std::make_move_iterator(entries_.begin()),
+                       std::make_move_iterator(entries_.end()));
+  entries_ = std::move(from.entries_);
+  from.entries_.clear();
+}
+
 Predicates::GroupId Predicates::add_group(GroupOptions opts) {
   groups_.push_back(Group{std::move(opts), {}, {}});
   return groups_.size() - 1;
@@ -103,6 +126,57 @@ void Predicates::inject_delay(std::string name, sim::Nanos until,
   const sim::Nanos now = engine_.now();
   std::erase_if(delays_, [&](const DelayWindow& w) { return w.until <= now; });
   delays_.push_back(DelayWindow{std::move(name), until, extra});
+}
+
+void Predicates::inject_lane_drop(int lane, sim::Nanos until) {
+  lane_drops_.push_back(LaneDrop{lane, until});
+}
+
+void Predicates::inject_spurious(sim::Nanos until, sim::Nanos extra) {
+  const sim::Nanos now = engine_.now();
+  std::erase_if(spurious_,
+                [&](const SpuriousWindow& w) { return w.until <= now; });
+  spurious_.push_back(SpuriousWindow{until, extra});
+}
+
+void Predicates::merge_released() {
+  if (lane_drops_.empty() && held_.empty()) return;
+  const sim::Nanos now = engine_.now();
+  std::erase_if(lane_drops_, [&](const LaneDrop& w) { return w.until <= now; });
+  if (held_.empty()) return;
+  const auto active = [&](int lane) {
+    for (const LaneDrop& w : lane_drops_) {
+      if (w.lane == lane) return true;
+    }
+    return false;
+  };
+  PostPlan release;
+  held_.extract_if([&](int lane) { return !active(lane); }, release);
+  plan_.splice_front(release);
+}
+
+sim::Nanos Predicates::issue_plan() {
+  if (!lane_drops_.empty()) {
+    plan_.extract_if(
+        [&](int lane) {
+          for (const LaneDrop& w : lane_drops_) {
+            if (w.lane == lane) return true;
+          }
+          return false;
+        },
+        held_);
+  }
+  return plan_.issue();
+}
+
+sim::Nanos Predicates::spurious_burn() {
+  if (spurious_.empty()) return 0;
+  const sim::Nanos now = engine_.now();
+  std::erase_if(spurious_,
+                [&](const SpuriousWindow& w) { return w.until <= now; });
+  sim::Nanos extra = 0;
+  for (const SpuriousWindow& w : spurious_) extra += w.extra;
+  return extra;
 }
 
 /// Summed extra compute for a fire of predicate `name` right now (stacked
@@ -210,6 +284,7 @@ sim::Co<> Predicates::run_reactive() {
       if (cfg_.stopped()) break;
       if (g.opts.lock) co_await g.opts.lock->lock();
       plan_.clear();
+      merge_released();
       sim::Nanos work = 0;
       const bool acted = eval_group(g, work, plan_);
       if (g.opts.on_work) g.opts.on_work(work);
@@ -224,7 +299,7 @@ sim::Co<> Predicates::run_reactive() {
       carry = 0;
       if (g.opts.lock && g.opts.early_release) g.opts.lock->unlock();
       const std::uint64_t arg = plan_.arg();
-      const sim::Nanos post = plan_.issue();
+      const sim::Nanos post = issue_plan();
       if (post > 0) {
         if (g.opts.on_post) g.opts.on_post(post, arg);
         co_await engine_.sleep(post);
@@ -235,7 +310,9 @@ sim::Co<> Predicates::run_reactive() {
 
     sim::Nanos over = carry;
     if (cfg_.iteration_pause) over += cfg_.iteration_pause();
-    co_await engine_.sleep(over);
+    const sim::Nanos burn = spurious_burn();
+    if (burn > 0) progress = true;  // phantom doorbell: no quiescent backoff
+    co_await engine_.sleep(over + burn);
 
     if (progress) {
       idle_streak = 0;
@@ -399,6 +476,7 @@ sim::Co<> Predicates::run_drr() {
                                                      : ServiceReason::conserve;
       if (g.opts.lock) co_await g.opts.lock->lock();
       plan_.clear();
+      merge_released();
       sim::Nanos work = 0;
       const bool acted = eval_group(g, work, plan_);
       if (g.opts.on_work) g.opts.on_work(work);
@@ -433,7 +511,7 @@ sim::Co<> Predicates::run_drr() {
       carry = 0;
       if (g.opts.lock && g.opts.early_release) g.opts.lock->unlock();
       const std::uint64_t arg = plan_.arg();
-      const sim::Nanos post = plan_.issue();
+      const sim::Nanos post = issue_plan();
       if (post > 0) {
         if (g.opts.on_post) g.opts.on_post(post, arg);
         co_await engine_.sleep(post);
@@ -446,7 +524,9 @@ sim::Co<> Predicates::run_drr() {
 
     sim::Nanos over = carry;
     if (cfg_.iteration_pause) over += cfg_.iteration_pause();
-    co_await engine_.sleep(over);
+    const sim::Nanos burn = spurious_burn();
+    if (burn > 0) progress = true;  // phantom doorbell: no quiescent backoff
+    co_await engine_.sleep(over + burn);
 
     if (progress) {
       idle_streak = 0;
@@ -500,15 +580,16 @@ sim::Co<> Predicates::run_paced() {
       if (cfg_.stopped()) break;
       if (g.opts.lock) co_await g.opts.lock->lock();
       plan_.clear();
+      merge_released();
       sim::Nanos work = 0;
       const bool acted = eval_group(g, work, plan_);
       if (g.opts.on_work) g.opts.on_work(work);
       if (acted && g.opts.on_fire) g.opts.on_fire(work);
-      post_total += plan_.issue();
+      post_total += issue_plan();
       if (g.opts.lock) g.opts.lock->unlock();
     }
     if (cfg_.stopped()) break;
-    co_await engine_.sleep(cfg_.pace(post_total));
+    co_await engine_.sleep(cfg_.pace(post_total + spurious_burn()));
   }
 }
 

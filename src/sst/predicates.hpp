@@ -83,6 +83,16 @@ class PostPlan {
   /// post cost the caller must sleep.
   sim::Nanos issue();
 
+  /// Move every action whose lane satisfies `pred` to the back of `out`
+  /// (insertion order kept on both sides). Fault-injection support: the
+  /// scheduler quarantines dropped lanes this way.
+  void extract_if(const std::function<bool(int)>& pred, PostPlan& out);
+
+  /// Prepend `from`'s actions (and clear it): released actions are older
+  /// than this round's, so the issue sort keeps them ahead of same-lane
+  /// peers.
+  void splice_front(PostPlan& from);
+
  private:
   struct Entry {
     int lane;
@@ -244,6 +254,21 @@ class Predicates {
   /// everything downstream. Overlapping windows for the same name stack.
   void inject_delay(std::string name, sim::Nanos until, sim::Nanos extra);
 
+  /// Fault injection (`fault::FaultKind::postplan_drop`): until virtual
+  /// time `until`, PostPlan actions on `lane` are held back instead of
+  /// issued — a stalled QP lane. Held actions release on the first round
+  /// after expiry, issuing ahead of younger same-lane peers (the global
+  /// lane order is restored by the issue sort). Safe by the framework's
+  /// own contract: actions re-read live, monotonic state at issue time.
+  void inject_lane_drop(int lane, sim::Nanos until);
+
+  /// Fault injection (`fault::FaultKind::spurious_eval`): until virtual
+  /// time `until`, the scheduler behaves as if a phantom doorbell rang
+  /// every round — idle backoff never engages and each round burns `extra`
+  /// additional compute (the wasted evaluations the paper's predicate
+  /// batching exists to avoid). Overlapping windows stack.
+  void inject_spurious(sim::Nanos until, sim::Nanos extra);
+
   /// Per-group DRR scheduler accounting, exported into `cluster.stats()`.
   /// Meaningful under `Discipline::drr`; zeros under strict-RR.
   struct GroupSched {
@@ -288,9 +313,27 @@ class Predicates {
     sim::Nanos until = 0;
     sim::Nanos extra = 0;
   };
+  struct LaneDrop {
+    int lane = 0;
+    sim::Nanos until = 0;
+  };
+  struct SpuriousWindow {
+    sim::Nanos until = 0;
+    sim::Nanos extra = 0;
+  };
 
   bool eval_group(Group& g, sim::Nanos& work, PostPlan& plan);
   sim::Nanos fire_delay(const std::string& name);
+  /// Release held_ actions whose lane-drop window expired into the front
+  /// of plan_ (called at the top of each group round, so a quiet group
+  /// still flushes its backlog).
+  void merge_released();
+  /// plan_.issue() with actions on actively-dropped lanes extracted into
+  /// held_ first.
+  sim::Nanos issue_plan();
+  /// This round's spurious-wake burn; > 0 also means "stay hot" (the
+  /// schedulers suppress idle backoff for the round).
+  sim::Nanos spurious_burn();
   void credit_group(Group& g, std::int64_t rounds);
   void promote_all();
   void kick();
@@ -303,11 +346,14 @@ class Predicates {
   std::vector<Group> groups_;
   std::vector<Predicate> preds_;
   std::vector<DelayWindow> delays_;
+  std::vector<LaneDrop> lane_drops_;
+  std::vector<SpuriousWindow> spurious_;
   std::uint64_t rearm_generation_ = 0;  // bumped by rearm(); schedulers poll
   bool probe_kick_ = false;  // doorbell rang from quiescence: courtesy-probe
                              // the scan lane on the next idle round
   std::size_t kick_cursor_ = 0;  // rotation point for budgeted courtesy probes
   PostPlan plan_;  // reused across rounds; capacity reaches steady state
+  PostPlan held_;  // lane-dropped actions awaiting their window's expiry
 };
 
 }  // namespace spindle::sst

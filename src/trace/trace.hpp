@@ -30,9 +30,10 @@ enum class Stage : std::uint8_t {
                    // (dur = its slice of the round's compute, arg = pred id)
   sched_service,   // DRR scheduler serviced a group (arg = sst::ServiceReason,
                    // msg_index = post-debit deficit)
+  recover,         // node rejoined from its durable log (arg = new epoch)
 };
 
-inline constexpr std::size_t kNumStages = 17;
+inline constexpr std::size_t kNumStages = 18;
 const char* to_string(Stage s);
 
 inline constexpr std::uint32_t kNoSubgroup = UINT32_MAX;

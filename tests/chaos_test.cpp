@@ -1,11 +1,16 @@
 // Chaos sweep: hundreds of seeded random fault schedules (crashes,
 // cascading crashes, NIC stalls, link degradation, slow hosts, SSD
-// latency spikes) executed deterministically against a busy group, each
-// verified with the full virtual-synchrony contract (fault::VsyncChecker).
+// latency spikes, dropped post-plan lanes, phantom doorbells, and
+// total-failure episodes with staggered restarts) executed
+// deterministically against a busy group, each verified with the full
+// virtual-synchrony contract (fault::VsyncChecker) — including the
+// episode-aware recovery invariants when the whole group goes down and
+// comes back from its durable logs.
 //
 // Every run is a pure function of its seed. On failure the test prints the
-// seed, the complete fault schedule and the engine diagnostics; replay one
-// schedule bit-identically with:
+// seed, the complete fault schedule and the engine diagnostics, and writes
+// the same dump to chaos_seed_<seed>.replay.txt in the working directory.
+// Replay one schedule bit-identically with:
 //
 //   SPINDLE_CHAOS_RUNS=1 SPINDLE_CHAOS_SEED=<seed> ./tests/chaos_test
 //
@@ -15,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,6 +57,8 @@ struct ChaosOutcome {
   std::vector<std::uint64_t> trace;
   // Coverage accounting.
   std::uint32_t epochs = 0;
+  std::uint32_t recoveries = 0;   // completed total-failure recoveries
+  std::size_t episodes = 0;       // recovery episodes the checker archived
   bool halted = false;
   bool persistent = false;
   bool drr = false;
@@ -99,6 +107,11 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
   spec.min_at = sim::micros(20);
   spec.horizon = sim::millis(2);
   spec.failure_timeout = cfg.failure_timeout;
+  // Total-failure episodes on: about a third of the seeds additionally
+  // crash every node late in the horizon and restart most of them, so the
+  // sweep exercises recovery from durable logs under arbitrary preceding
+  // fault mixes.
+  spec.allow_total_failure = true;
   fault::FaultInjector injector(group,
                                 fault::FaultPlan::random(seed, spec));
   injector.arm();
@@ -119,19 +132,32 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
   }
 
   ChaosOutcome out;
-  // Completion: the group halted entirely (total failure is a legal chaos
-  // outcome), or every scheduled fault has fired, membership has settled
-  // (no dead node still in the view, no change in progress) and every
-  // current member delivered every current member's messages.
+  // Completion: every scheduled fault has fired (restarts included), and
+  // either the group halted for good (total failure with no recovery in
+  // flight is a legal chaos outcome), or membership has settled and every
+  // current member delivered every sender's expected count. After a
+  // recovery the expectation is no longer msgs_per_sender: the checker
+  // computes per sender the replayed durable prefix plus the resumed tail.
+  // Recomputing that walks every archived episode, so cache it per
+  // recovery generation.
+  std::vector<std::uint64_t> expected(nodes, msgs_per_sender);
+  std::uint32_t expected_gen = 0;
   out.done = group.engine().run_until(
       [&] {
-        if (group.halted()) return true;
         if (group.engine().now() < last_fault_onset) return false;
+        if (group.halted()) return !group.recovery_pending();
         if (group.view_change_in_progress()) return false;
+        if (group.recoveries() != expected_gen) {
+          expected_gen = group.recoveries();
+          for (net::NodeId s = 0; s < nodes; ++s) {
+            expected[s] =
+                checker.expected_current_from(0, s, msgs_per_sender);
+          }
+        }
         for (net::NodeId m : group.view().members) {
           if (!group.is_alive(m)) return false;
           for (net::NodeId s : group.view().members) {
-            if (checker.delivered_from(m, 0, s) < msgs_per_sender) {
+            if (checker.delivered_from(m, 0, s) < expected[s]) {
               return false;
             }
           }
@@ -150,6 +176,8 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
     out.dump = os.str();
   }
   out.epochs = group.epoch();
+  out.recoveries = group.recoveries();
+  out.episodes = checker.episodes();
   out.halted = group.halted();
   out.persistent = persistent;
   out.drr = use_drr;
@@ -162,6 +190,8 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
   }
   out.violations = checker.check(group);
   out.trace.push_back(group.engine().now());
+  out.trace.push_back(out.recoveries);
+  out.trace.push_back(out.episodes);
   for (net::NodeId n = 0; n < nodes; ++n) {
     out.trace.push_back(checker.delivered_total(n, 0));
     for (net::NodeId s = 0; s < nodes; ++s) {
@@ -171,18 +201,37 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
   return out;
 }
 
+// Replay ergonomics: a failing seed leaves a self-contained artifact next
+// to the test binary — the shape, the full schedule, the replay command,
+// and whatever went wrong — so the failure survives scrolled-away CI logs.
+std::string write_replay_artifact(std::uint64_t seed,
+                                  const ChaosOutcome& out) {
+  std::ostringstream name;
+  name << "chaos_seed_" << seed << ".replay.txt";
+  std::ofstream f(name.str());
+  f << out.dump;
+  if (!out.done) f << "RUN DID NOT QUIESCE\n" << out.diagnostics;
+  for (const std::string& v : out.violations) f << "VIOLATION: " << v << "\n";
+  return name.str();
+}
+
 TEST_P(ChaosSweep, VirtualSynchronyHoldsUnderRandomFaults) {
   const ChaosOutcome out = run_chaos(GetParam());
-  ASSERT_TRUE(out.done) << "group did not quiesce after the fault schedule\n"
-                        << out.dump << out.diagnostics;
-  EXPECT_TRUE(out.violations.empty()) << [&] {
-    std::ostringstream os;
-    os << out.dump;
-    for (const std::string& v : out.violations) {
-      os << "VIOLATION: " << v << "\n";
-    }
-    return os.str();
-  }();
+  if (!out.done || !out.violations.empty()) {
+    const std::string artifact = write_replay_artifact(GetParam(), out);
+    ASSERT_TRUE(out.done)
+        << "group did not quiesce after the fault schedule (artifact: "
+        << artifact << ")\n"
+        << out.dump << out.diagnostics;
+    EXPECT_TRUE(out.violations.empty()) << [&] {
+      std::ostringstream os;
+      os << out.dump << "(artifact: " << artifact << ")\n";
+      for (const std::string& v : out.violations) {
+        os << "VIOLATION: " << v << "\n";
+      }
+      return os.str();
+    }();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
@@ -199,7 +248,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
 // (Deterministic: the seed population is fixed, so these counts are too.)
 TEST(ChaosCoverage, SeedPopulationExercisesTheProtocol) {
   std::size_t with_crashes = 0, with_epochs = 0, persistent = 0, halted = 0;
-  std::size_t with_drr = 0;
+  std::size_t with_drr = 0, with_recoveries = 0;
   for (std::uint64_t i = 0; i < 100; ++i) {
     const ChaosOutcome out = run_chaos(kBaseSeed + i);
     ASSERT_TRUE(out.done) << out.dump << out.diagnostics;
@@ -208,13 +257,24 @@ TEST(ChaosCoverage, SeedPopulationExercisesTheProtocol) {
     if (out.persistent) ++persistent;
     if (out.halted) ++halted;
     if (out.drr) ++with_drr;
+    if (out.recoveries > 0) {
+      ++with_recoveries;
+      EXPECT_EQ(out.episodes, out.recoveries)
+          << "checker missed a recovery episode, seed " << kBaseSeed + i;
+    }
   }
   EXPECT_GE(with_crashes, 30u);
   EXPECT_GE(with_epochs, 30u);
   EXPECT_GE(persistent, 15u);
   EXPECT_GE(with_drr, 30u);  // both disciplines under fault pressure
-  // Halts (total failure) are rare but legal; no lower bound asserted.
+  // About a third of the seeds draw a total-failure episode and every
+  // episode forces at least one restart, so completed recoveries must be
+  // well represented.
+  EXPECT_GE(with_recoveries, 15u);
+  // Terminal halts (total failure without recovery) are rare but legal; no
+  // lower bound asserted.
   RecordProperty("halted_runs", static_cast<int>(halted));
+  RecordProperty("recovered_runs", static_cast<int>(with_recoveries));
 }
 
 // Determinism contract behind the replay command: the same seed reproduces
@@ -418,6 +478,117 @@ TEST(ChaosNamed, NicStallHealsWithoutSuspicion) {
   EXPECT_EQ(r.group.epoch(), 0u);
   EXPECT_EQ(r.group.view().members.size(), 4u);
   r.expect_clean();
+}
+
+TEST(ChaosNamed, PostplanSendLaneDropHealsInvisibly) {
+  // Hold back every post on one node's data-plane send lane for a window
+  // well below the failure timeout: the quarantined actions are released
+  // in their original order when the window expires, and nothing upstream
+  // may notice — no suspicion, no view change, no contract violation.
+  NamedRun r(4, 85, /*persistent=*/false);
+  r.group.engine().schedule_fn(sim::micros(80), [&] {
+    r.group.drop_postplan_lane(1, /*lane=*/0, sim::micros(150));
+  });
+  ASSERT_TRUE(r.run_to_quiescence()) << r.group.engine().diagnostics();
+  EXPECT_EQ(r.group.epoch(), 0u);
+  EXPECT_EQ(r.group.view().members.size(), 4u);
+  r.expect_clean();
+}
+
+TEST(ChaosNamed, PostplanAckLaneDropOutlastsTimeoutWithoutSuspicion) {
+  // One node's ack lane stalls for several failure timeouts. Acks gate
+  // stability, so delivery backs up behind the window — but membership
+  // heartbeats live on the separate paced registry, so the stall must NOT
+  // be mistaken for a crash. When the lane heals, the held acks post in
+  // order and delivery drains.
+  NamedRun r(4, 86, /*persistent=*/false);
+  r.group.engine().schedule_fn(sim::micros(80), [&] {
+    r.group.drop_postplan_lane(2, /*lane=*/1,
+                               3 * r.group.config().failure_timeout);
+  });
+  ASSERT_TRUE(r.run_to_quiescence()) << r.group.engine().diagnostics();
+  EXPECT_EQ(r.group.epoch(), 0u)
+      << "a stalled data-plane lane must not provoke a view change";
+  EXPECT_EQ(r.group.view().members.size(), 4u);
+  r.expect_clean();
+}
+
+TEST(ChaosNamed, SpuriousEvalsBurnCpuWithoutBreakingContract) {
+  // Phantom doorbells: one node's scheduler sees progress every round for
+  // a 1ms window, charging extra evaluation time and suppressing idle
+  // backoff. Throughput dips; correctness and membership must not.
+  NamedRun r(4, 87, /*persistent=*/false, sst::Discipline::drr);
+  r.group.engine().schedule_fn(sim::micros(80), [&] {
+    r.group.force_spurious_evals(1, sim::millis(1), sim::micros(5));
+  });
+  ASSERT_TRUE(r.run_to_quiescence()) << r.group.engine().diagnostics();
+  EXPECT_EQ(r.group.epoch(), 0u);
+  EXPECT_EQ(r.group.view().members.size(), 4u);
+  r.expect_clean();
+}
+
+TEST(ChaosNamed, TotalFailureEpisodeThroughInjector) {
+  // A hand-written total-failure episode driven through the injector —
+  // the same machinery the random sweep uses: all four nodes crash inside
+  // 30µs, three restart, one stays dead. The group must recover onto the
+  // longest common durable prefix and the episode-aware contract must
+  // hold, with the dead sender contributing only its durable prefix.
+  core::ManagedGroup::Config cfg;
+  cfg.nodes = 4;
+  cfg.seed = 88;
+  core::ManagedGroup group(cfg, simple_layout(/*persistent=*/true));
+  group.start();
+
+  fault::VsyncChecker checker;
+  checker.attach(group);
+
+  fault::FaultPlan plan;
+  plan.seed = 88;
+  for (net::NodeId n = 0; n < 4; ++n) {
+    fault::FaultEvent e;
+    e.kind = fault::FaultKind::total_failure;
+    e.node = n;
+    e.at = sim::micros(150) + sim::micros(10) * n;
+    plan.events.push_back(e);
+  }
+  for (net::NodeId n = 0; n < 3; ++n) {  // node 3 never comes back
+    fault::FaultEvent e;
+    e.kind = fault::FaultKind::restart;
+    e.node = n;
+    e.at = sim::micros(1200) + sim::micros(80) * n;
+    plan.events.push_back(e);
+  }
+  fault::FaultInjector injector(group, plan);
+  injector.arm();
+
+  // Spread submissions so the crash catches traffic in flight and the
+  // durable logs stop at genuinely ragged frontiers.
+  const std::uint64_t msgs = 30;
+  for (net::NodeId n = 0; n < 4; ++n) {
+    for (std::uint64_t i = 0; i < msgs; ++i) {
+      const std::uint64_t idx = checker.note_send(n, 0);
+      group.engine().schedule_fn(
+          static_cast<sim::Nanos>(i) * sim::micros(20), [&group, n, idx] {
+            group.send(n, 0, fault::VsyncChecker::make_payload(n, idx, 64));
+          });
+    }
+  }
+
+  ASSERT_TRUE(group.engine().run_until(
+      [&] { return group.recoveries() >= 1; }, sim::millis(100)))
+      << group.engine().diagnostics();
+  EXPECT_EQ(group.view().members, (std::vector<net::NodeId>{0, 1, 2}));
+  EXPECT_EQ(checker.episodes(), 1u);
+  ASSERT_TRUE(group.engine().run_until(
+      [&] {
+        return !group.view_change_in_progress() &&
+               checker.check(group).empty();
+      },
+      group.engine().now() + sim::millis(200)))
+      << group.engine().diagnostics();
+  // The dead node's messages survive exactly up to the common durable
+  // prefix — strictly fewer than it submitted.
+  EXPECT_LT(checker.delivered_from(0, 0, 3), msgs);
 }
 
 }  // namespace

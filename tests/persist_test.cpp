@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "core/group.hpp"
+#include "store/versioned_log.hpp"
 
 namespace spindle::core {
 namespace {
@@ -126,6 +128,61 @@ TEST(Persistence, LocalFrontierCoversTrailingNulls) {
   const auto& log = cluster.node(0).persistent_log(sg);
   EXPECT_EQ(log.size(), 60u);
   EXPECT_GE(cluster.node(0).persisted_frontier(sg), 88);  // ~90 seqs total
+  cluster.shutdown();
+}
+
+TEST(Persistence, ProviderOwnedStoresAnnounceConsistentVersionVectors) {
+  // Wire caller-owned versioned logs in through the store provider (the
+  // ManagedGroup arrangement that keeps logs alive across restarts) and
+  // check the durable bookkeeping the recovery protocol reads: once the
+  // write-behind loggers drain, every record is committed, the version
+  // vector matches the log, and the payload mirror equals what
+  // persistent_log() serves.
+  ClusterConfig cc;
+  cc.nodes = 3;
+  Cluster cluster(cc);
+  std::vector<std::unique_ptr<store::VersionedLog>> logs;
+  for (int i = 0; i < 3; ++i) {
+    logs.push_back(std::make_unique<store::VersionedLog>());
+  }
+  cluster.set_store_provider(
+      [&logs](net::NodeId n, SubgroupId) { return logs[n].get(); });
+  ProtocolOptions opts = ProtocolOptions::spindle();
+  opts.persistent = true;
+  opts.max_msg_size = 64;
+  const SubgroupId sg =
+      cluster.create_subgroup({"vv", {0, 1, 2}, {0, 1, 2}, opts});
+  cluster.start();
+  for (net::NodeId n = 0; n < 3; ++n) {
+    cluster.engine().spawn([](Cluster* c, net::NodeId id,
+                              SubgroupId g) -> sim::Co<> {
+      for (int i = 0; i < 40; ++i) {
+        if (c->node(id).stopped()) co_return;
+        co_await c->node(id).send(g, 64, [](std::span<std::byte>) {});
+      }
+    }(&cluster, n, sg));
+  }
+  ASSERT_TRUE(cluster.engine().run_until(
+      [&] {
+        for (const auto& log : logs) {
+          if (log->committed_size() < 120 || log->flush_in_flight()) {
+            return false;
+          }
+        }
+        return true;
+      },
+      sim::seconds(10)));
+  for (net::NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(logs[n]->size(), 120u);
+    EXPECT_EQ(logs[n]->committed_size(), 120u);
+    const auto vv = logs[n]->version_vector();
+    ASSERT_EQ(vv.size(), 1u);
+    EXPECT_EQ(vv[0].second, 120u);
+    EXPECT_EQ(&cluster.node(n).persistent_log(sg), &logs[n]->payloads())
+        << "persistent_log must serve the provider-owned store's mirror";
+    EXPECT_GT(logs[n]->committed_media_bytes(),
+              120u * store::kRecordHeaderBytes);
+  }
   cluster.shutdown();
 }
 
