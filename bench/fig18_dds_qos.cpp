@@ -10,7 +10,10 @@
 #include <cstring>
 
 #include "bench_util.hpp"
+#include "dds/client_mux.hpp"
 #include "dds/dds.hpp"
+#include "dds/session.hpp"
+#include "metrics/metrics.hpp"
 
 using namespace spindle;
 using namespace spindle::bench;
@@ -53,6 +56,46 @@ double run_dds(std::size_t subscribers, dds::Qos qos,
   return static_cast<double>(samples) * 10240.0 / secs / 1e9;
 }
 
+/// Front-tier echo RTT (§4.6's external clients on the Session API): one
+/// gateway session round-trips requests through a relay member into the
+/// topic's order and back. Returns {p50, p99} in microseconds.
+std::pair<double, double> run_session_echo(dds::Qos qos,
+                                           std::size_t requests) {
+  core::ClusterConfig cc;
+  cc.nodes = 6;  // publisher/relay 0, subscribers 1..4, gateway 5
+  dds::Domain domain(cc);
+
+  dds::TopicConfig tc;
+  tc.name = "echo";
+  tc.topic_id = 1;
+  tc.qos = qos;
+  tc.max_sample_size = 10240;
+  tc.publishers = {0};
+  tc.subscribers = {0, 1, 2, 3, 4};
+  tc.opts = core::ProtocolOptions::spindle();
+  domain.create_topic(tc);
+  dds::ClientMux& mux = domain.create_client_mux(1, 5, 0);
+  dds::Session* session = mux.connect();
+  domain.start();
+
+  metrics::Histogram rtt_ns;
+  bool done = false;
+  domain.engine().spawn([](dds::Session* s, std::size_t count,
+                           metrics::Histogram* h, bool* flag) -> sim::Co<> {
+    std::vector<std::byte> body(1024);
+    for (std::size_t i = 0; i < count; ++i) {
+      const dds::Reply r = co_await s->request(body);
+      if (r.status == dds::ReplyStatus::ok) {
+        h->add(static_cast<std::uint64_t>(r.rtt));
+      }
+    }
+    *flag = true;
+  }(session, requests, &rtt_ns, &done));
+  domain.engine().run_until([&] { return done; }, sim::seconds(60));
+  return {static_cast<double>(rtt_ns.percentile(50)) / 1e3,
+          static_cast<double>(rtt_ns.percentile(99)) / 1e3};
+}
+
 }  // namespace
 
 int main() {
@@ -81,5 +124,17 @@ int main() {
     }
   }
   t.print();
+
+  // §4.6 front tier: the same QoS ladder seen by an external client session
+  // doing request/reply through a relay (4 onboard subscribers, Spindle
+  // options). RTT includes the gateway link, ring hop, total-order delivery
+  // at the relay, and the reply path back.
+  Table echo("Front-tier session echo RTT through the relay (us)",
+             {"QoS", "p50", "p99"});
+  for (dds::Qos q : levels) {
+    const auto [p50, p99] = run_session_echo(q, scaled(200));
+    echo.row({dds::qos_name(q), Table::num(p50, 1), Table::num(p99, 1)});
+  }
+  echo.print();
   return 0;
 }

@@ -10,9 +10,10 @@
 #include <cstdio>
 #include <cstring>
 
+#include "dds/client_mux.hpp"
 #include "dds/dds.hpp"
-#include "dds/external.hpp"
 #include "dds/marshal.hpp"
+#include "dds/session.hpp"
 
 using namespace spindle;
 
@@ -83,12 +84,13 @@ int main() {
   cmd.subscribers = {0, 1, 2, 3};
   domain.create_topic(cmd);
 
-  // A ground station connects as an external client (§4.6) over a
+  // A ground station connects as an external client session (§4.6) over a
   // TCP-class link, relayed through the FMS: its commands are totally
   // ordered with onboard ones, and it hears every command back.
-  dds::ClientLinkModel tcp;
-  tcp.per_message_overhead = sim::micros(12);
-  dds::ExternalClient& ground = domain.create_external_client(2, 4, 1, tcp);
+  dds::MuxConfig uplink;
+  uplink.per_message_overhead = sim::micros(12);
+  dds::ClientMux& mux = domain.create_client_mux(2, 4, 1, uplink);
+  dds::Session* ground = mux.connect(dds::SessionLink{sim::micros(12)});
 
   dds::TopicConfig box;
   box.name = "blackbox";
@@ -110,16 +112,24 @@ int main() {
   });
 
   std::uint64_t ground_heard = 0;
-  ground.set_listener([&](const dds::Sample&) { ++ground_heard; });
+  dds::Subscription ground_sub =
+      ground->subscribe([&](const dds::Sample&) { ++ground_heard; });
 
   domain.engine().spawn(imu_publisher(&domain));
   domain.engine().spawn(command_publisher(&domain));
   domain.engine().spawn(blackbox_publisher(&domain));
-  domain.engine().spawn([](dds::ExternalClient* gs) -> sim::Co<> {
+  domain.engine().spawn([](dds::Session* gs) -> sim::Co<> {
+    // Request/reply RPC: the divert command round-trips through the total
+    // order and the reply reports its sequence slot.
     dds::Encoder enc;
     enc.put_string("GROUND: DIVERT KSFO");
-    co_await gs->publish_bytes(enc.bytes());
-  }(&ground));
+    const dds::Reply r = co_await gs->request(enc.bytes());
+    std::printf("  [ground station] divert %s as command #%lld (rtt %.0f "
+                "us)\n",
+                dds::to_string(r.status),
+                static_cast<long long>(r.seq),
+                static_cast<double>(r.rtt) / 1e3);
+  }(ground));
 
   domain.engine().run_until(
       [&] {

@@ -74,14 +74,43 @@ Node& Cluster::node(net::NodeId id) {
 }
 
 SubgroupId Cluster::create_subgroup(SubgroupConfig cfg) {
-  if (started_) throw std::logic_error("create_subgroup after start()");
+  if (started_) {
+    throw std::logic_error(
+        "Cluster::create_subgroup(\"" + cfg.name +
+        "\"): cluster already started — register every subgroup before "
+        "start()");
+  }
   cfg.validate(members_);
   subgroup_configs_.push_back(std::move(cfg));
   return static_cast<SubgroupId>(subgroup_configs_.size() - 1);
 }
 
+void Cluster::set_store_provider(
+    std::function<store::VersionedLog*(net::NodeId, SubgroupId)> p) {
+  if (started_) {
+    throw std::logic_error(
+        "Cluster::set_store_provider: cluster already started — durable "
+        "logs are bound during start(), so a late provider could never "
+        "take effect");
+  }
+  store_provider_ = std::move(p);
+}
+
+void Cluster::validate_setup() const {
+  for (std::size_t i = 0; i < subgroup_configs_.size(); ++i) {
+    try {
+      subgroup_configs_[i].validate(members_);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(
+          "Cluster::start(): subgroup #" + std::to_string(i) + " (\"" +
+          subgroup_configs_[i].name + "\") is invalid: " + e.what());
+    }
+  }
+}
+
 void Cluster::start() {
-  if (started_) throw std::logic_error("start() called twice");
+  if (started_) throw std::logic_error("Cluster::start() called twice");
+  validate_setup();
   started_ = true;
 
   // SST columns: received_num, delivered_num and (persistent mode)
@@ -135,6 +164,12 @@ void Cluster::start() {
         s.persist_signal = std::make_unique<sim::Signal>(*engine_);
         if (store_provider_) {
           s.dlog = store_provider_(member, sg);
+          if (s.dlog == nullptr) {
+            throw std::runtime_error(
+                "Cluster::start(): store provider returned no log for "
+                "node " + std::to_string(member) + ", persistent subgroup "
+                "\"" + cfg.name + "\"");
+          }
         } else {
           store::StoreOptions so;
           so.sector_bytes = cfg_.cpu.ssd_sector_bytes;

@@ -59,23 +59,28 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  /// Register a subgroup (before start()). The configuration is validated
-  /// against this cluster's membership; delivery order within a round
-  /// follows the order of `cfg.senders`.
+  /// Register a subgroup. Pre-start() mutator: calling it after start()
+  /// throws std::logic_error. The configuration is validated eagerly
+  /// against this cluster's membership (so the offending call site gets
+  /// the exception) and re-validated by start(); delivery order within a
+  /// round follows the order of `cfg.senders`.
   SubgroupId create_subgroup(SubgroupConfig cfg);
 
-  /// Durable-store binding for persistent subgroups (before start()).
-  /// When set, the provider supplies the versioned log for each
-  /// (member, subgroup) — how a ManagedGroup keeps one log per node alive
-  /// across epochs and restarts. Without a provider the cluster owns
-  /// fresh logs (epoch 0), the standalone-group behaviour.
+  /// Durable-store binding for persistent subgroups. Pre-start() mutator:
+  /// calling it after start() throws std::logic_error (the binding could
+  /// never take effect — logs are wired during start()). When set, the
+  /// provider supplies the versioned log for each (member, subgroup) — how
+  /// a ManagedGroup keeps one log per node alive across epochs and
+  /// restarts. Without a provider the cluster owns fresh logs (epoch 0),
+  /// the standalone-group behaviour.
   void set_store_provider(
-      std::function<store::VersionedLog*(net::NodeId, SubgroupId)> p) {
-    store_provider_ = std::move(p);
-  }
+      std::function<store::VersionedLog*(net::NodeId, SubgroupId)> p);
 
-  /// Allocate and connect SST + ring buffers (the per-view memory layout of
-  /// §2.3) and start every node's predicate thread.
+  /// Validate the accumulated setup (every subgroup config against the
+  /// final membership, with per-subgroup context on errors), then allocate
+  /// and connect SST + ring buffers (the per-view memory layout of §2.3)
+  /// and start every node's predicate thread. All misordered or invalid
+  /// setup fails here loudly at the latest.
   void start();
 
   /// Wake-and-join: stop all predicate threads and drain the event queue.
@@ -126,6 +131,11 @@ class Cluster {
   friend class Node;  // send-time oracle access (trace-layer internal)
 
   trace::SendTimeOracle& send_oracle() noexcept { return oracle_; }
+
+  /// start()-time gate over everything the pre-start mutators accumulated:
+  /// re-runs SubgroupConfig::validate for each registered subgroup and
+  /// wraps failures with which subgroup (index + name) is at fault.
+  void validate_setup() const;
 
   ClusterConfig cfg_;
   std::unique_ptr<sim::Engine> owned_engine_;

@@ -177,7 +177,8 @@ bool Node::trigger_receive(SubgroupState& s, sst::TriggerContext& ctx) {
         // QoS "unordered": upcall at reception, no stability wait (§4.6).
         work += cpu.upcall_cost + opts.extra_upcall_delay;
         if (opts.memcpy_on_delivery) work += cpu.memcpy_cost(t.len);
-        Delivery d{s.id, j, -1, k, s.ring->message(j, k, t.len), -1};
+        Delivery d{s.id, j, -1, k, s.ring->message(j, k, t.len), -1,
+                   t.flags & ~smc::kNullFlag};
         d.sent_at = cluster_.send_oracle().get(s.id, j, k);
         if (s.delivery_cost_hook) work += s.delivery_cost_hook(d);
         tr.record(id_, trace::Stage::deliver, eng.now() + work, 0, s.id,
@@ -330,7 +331,8 @@ bool Node::trigger_deliver(SubgroupState& s, sst::TriggerContext& ctx) {
     if (!(t.flags & smc::kNullFlag)) {
       if (opts.mode == DeliveryMode::atomic) {
         if (opts.memcpy_on_delivery) work += cpu.memcpy_cost(t.len);
-        Delivery d{s.id, j, seq, k, s.ring->message(j, k, t.len), -1};
+        Delivery d{s.id, j, seq, k, s.ring->message(j, k, t.len), -1,
+                   t.flags & ~smc::kNullFlag};
         d.sent_at = cluster_.send_oracle().get(s.id, j, k);
         if (s.delivery_cost_hook) work += s.delivery_cost_hook(d);
         if (opts.persistent) work += enqueue_persist(s, seq, j, k, d.data);
@@ -499,7 +501,8 @@ void Node::force_deliver_through(SubgroupId sg, std::int64_t trim) {
     assert(t.count == k + 1 && "trimmed message must be present locally");
     if (!(t.flags & smc::kNullFlag) &&
         s.cfg.opts.mode == DeliveryMode::atomic) {
-      const Delivery d{s.id, j, seq, k, s.ring->message(j, k, t.len), -1};
+      const Delivery d{s.id, j, seq, k, s.ring->message(j, k, t.len), -1,
+                       t.flags & ~smc::kNullFlag};
       if (s.cfg.opts.persistent) enqueue_persist(s, seq, j, k, d.data);
       cluster_.tracer().record(id_, trace::Stage::deliver,
                                cluster_.engine().now(), 0, s.id,

@@ -221,7 +221,8 @@ void Node::recompute_received_num(SubgroupState& s) {
 }
 
 sim::Co<> Node::send(SubgroupId sg, std::uint32_t len,
-                     std::function<void(std::span<std::byte>)> builder) {
+                     std::function<void(std::span<std::byte>)> builder,
+                     std::uint32_t flags) {
   SubgroupState& s = require(sg);
   if (!s.is_sender()) {
     throw std::invalid_argument("node " + std::to_string(id_) +
@@ -272,7 +273,7 @@ sim::Co<> Node::send(SubgroupId sg, std::uint32_t len,
   auto slot = s.ring->slot_data(k);
   builder(slot.subspan(0, len));
   if (s.cfg.opts.memcpy_on_send) work += cpu.memcpy_cost(len);
-  s.ring->mark_ready(k, len, 0);
+  s.ring->mark_ready(k, len, flags & ~smc::kNullFlag);
   s.is_null[static_cast<std::size_t>(k % s.cfg.opts.window_size)] = 0;
   s.claimed = k + 1;
   cluster_.send_oracle().record(sg, s.my_sender_idx, k, eng.now());
@@ -333,11 +334,14 @@ std::int64_t Node::declare_inactive(SubgroupId sg, std::int64_t rounds) {
   return claimed;
 }
 
-sim::Co<> Node::send_bytes(SubgroupId sg, std::span<const std::byte> payload) {
-  co_await send(sg, static_cast<std::uint32_t>(payload.size()),
-                [payload](std::span<std::byte> buf) {
-                  std::memcpy(buf.data(), payload.data(), payload.size());
-                });
+sim::Co<> Node::send_bytes(SubgroupId sg, std::span<const std::byte> payload,
+                           std::uint32_t flags) {
+  co_await send(
+      sg, static_cast<std::uint32_t>(payload.size()),
+      [payload](std::span<std::byte> buf) {
+        std::memcpy(buf.data(), payload.data(), payload.size());
+      },
+      flags);
 }
 
 }  // namespace spindle::core

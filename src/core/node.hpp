@@ -34,6 +34,12 @@ struct Delivery {
   /// Virtual time the sender constructed this message (-1 if unknown, e.g.
   /// a view-change trim redelivery). Delivery latency = now() - sent_at.
   sim::Nanos sent_at = -1;
+  /// Application flag bits the sender attached via Node::send (the slot
+  /// trailer carries them on the wire, so they survive reordering and
+  /// view-change redelivery). Bit 0 is reserved for the protocol's null
+  /// marker and never appears here. The DDS front tier uses a bit to tag
+  /// relayed RPC envelopes.
+  std::uint32_t flags = 0;
 };
 
 /// Upcall invoked by the predicate thread. Runs on the critical path (§3.5):
@@ -151,13 +157,18 @@ class Node {
   /// (waiting if the window is full), upcalls `builder` to construct the
   /// message directly in the slot, and queues it. With send_batching the
   /// send predicate posts the writes; otherwise they are posted inline.
-  /// Must be awaited from a simulated application thread.
+  /// Must be awaited from a simulated application thread. `flags` are
+  /// application bits carried in the slot trailer and surfaced unchanged
+  /// as Delivery::flags at every receiver (bit 0 is protocol-reserved and
+  /// masked out).
   sim::Co<> send(SubgroupId sg, std::uint32_t len,
-                 std::function<void(std::span<std::byte>)> builder);
+                 std::function<void(std::span<std::byte>)> builder,
+                 std::uint32_t flags = 0);
 
   /// Convenience: send a payload by copy (models receiving data from an
   /// external source; adds memcpy cost when memcpy_on_send is set).
-  sim::Co<> send_bytes(SubgroupId sg, std::span<const std::byte> payload);
+  sim::Co<> send_bytes(SubgroupId sg, std::span<const std::byte> payload,
+                       std::uint32_t flags = 0);
 
   /// §3.3 extension — declared inactivity: a sender that deliberately will
   /// not send for a while announces up to `rounds` rounds of silence so the

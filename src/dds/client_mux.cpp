@@ -1,0 +1,624 @@
+#include "dds/client_mux.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "trace/trace.hpp"
+
+namespace spindle::dds {
+
+namespace {
+
+// Envelope / uplink-frame kinds.
+constexpr std::uint32_t kKindRequest = 0;
+constexpr std::uint32_t kKindPublish = 1;
+// Downlink-only frame kinds.
+constexpr std::uint32_t kKindReply = 2;
+constexpr std::uint32_t kKindSample = 3;
+
+/// Header of every frame on the shared gateway<->relay rings. One layout
+/// both ways: uplink frames use (session, kind, corr); downlink replies add
+/// (seq, status) and downlink samples (seq, publisher).
+struct MuxFrameHeader {
+  std::uint32_t session;
+  std::uint32_t kind;
+  std::uint64_t corr;
+  std::int64_t seq;
+  std::uint32_t publisher;
+  std::uint32_t status;
+};
+static_assert(sizeof(MuxFrameHeader) == 32);
+
+std::vector<std::byte> echo_service(std::span<const std::byte> request) {
+  return {request.begin(), request.end()};
+}
+
+}  // namespace
+
+const char* to_string(ReplyStatus s) {
+  switch (s) {
+    case ReplyStatus::ok:
+      return "ok";
+    case ReplyStatus::busy:
+      return "busy";
+    case ReplyStatus::cancelled:
+      return "cancelled";
+    case ReplyStatus::disconnected:
+      return "disconnected";
+  }
+  return "?";
+}
+
+ClientMux::ClientMux(Domain& domain, std::uint32_t mux_id, std::uint8_t topic,
+                     net::NodeId gateway, net::NodeId relay, MuxConfig cfg)
+    : domain_(domain),
+      mux_id_(mux_id),
+      topic_(topic),
+      gateway_(gateway),
+      relay_(relay),
+      cfg_(std::move(cfg)),
+      credits_avail_(cfg_.credits) {
+  if (cfg_.ring_window < 2) {
+    throw std::invalid_argument("ClientMux: ring_window must be >= 2");
+  }
+  if (cfg_.credits == 0) {
+    throw std::invalid_argument("ClientMux: credit pool must be >= 1");
+  }
+  const std::uint32_t max_sample = domain_.topic_max_sample(topic_);
+  if (max_sample <= sizeof(RpcEnvelope)) {
+    throw std::invalid_argument(
+        "ClientMux: topic max_sample_size must exceed the " +
+        std::to_string(sizeof(RpcEnvelope)) + "-byte RPC envelope");
+  }
+  max_body_ = max_sample - static_cast<std::uint32_t>(sizeof(RpcEnvelope));
+  if (!cfg_.service) cfg_.service = echo_service;
+  credit_signal_ = std::make_unique<sim::Signal>(domain_.engine());
+  uplink_signal_ = std::make_unique<sim::Signal>(domain_.engine());
+  tier_.relay_node = relay_;
+  tier_.gateway_node = gateway_;
+  tier_.topic = topic_;
+  tier_.credits_configured = cfg_.credits;
+}
+
+ClientMux::~ClientMux() = default;
+
+Session* ClientMux::connect(SessionLink link) {
+  auto& tr = domain_.cluster().tracer();
+  if (stopped_ || disconnected_ || live_sessions_ >= cfg_.max_sessions) {
+    ++tier_.sessions_shed;
+    tr.record(gateway_, trace::Stage::admission_shed, domain_.engine().now(),
+              0, domain_.topic_subgroup(topic_), trace::kNoSender, -1,
+              credit_waiters_);
+    return nullptr;
+  }
+  const auto id = static_cast<std::uint32_t>(sessions_.size());
+  sessions_.push_back(
+      std::unique_ptr<Session>(new Session(this, id, link)));
+  ++tier_.sessions_opened;
+  ++live_sessions_;
+  tr.record(gateway_, trace::Stage::session_open, domain_.engine().now(), 0,
+            domain_.topic_subgroup(topic_), trace::kNoSender, -1, id);
+  return sessions_.back().get();
+}
+
+metrics::RelayTierStats ClientMux::tier_stats() const {
+  metrics::RelayTierStats t = tier_;
+  t.credits_available = credits_avail_;
+  t.credit_waiters = credit_waiters_;
+  t.sessions_live = live_sessions_;
+  return t;
+}
+
+void ClientMux::start() {
+  started_ = true;
+  auto& fabric = domain_.cluster().fabric();
+  const std::vector<net::NodeId> members{gateway_, relay_};
+  const std::uint32_t frame =
+      domain_.topic_max_sample(topic_) + sizeof(MuxFrameHeader);
+
+  up_at_gateway_ = std::make_unique<smc::RingGroup>(
+      fabric, gateway_, members, 0, 1, cfg_.ring_window, frame);
+  up_at_relay_ = std::make_unique<smc::RingGroup>(
+      fabric, relay_, members, SIZE_MAX, 1, cfg_.ring_window, frame);
+  smc::RingGroup* up[] = {up_at_gateway_.get(), up_at_relay_.get()};
+  smc::RingGroup::connect(up);
+
+  down_at_relay_ = std::make_unique<smc::RingGroup>(
+      fabric, relay_, members, 0, 1, cfg_.ring_window, frame);
+  down_at_gateway_ = std::make_unique<smc::RingGroup>(
+      fabric, gateway_, members, SIZE_MAX, 1, cfg_.ring_window, frame);
+  smc::RingGroup* down[] = {down_at_relay_.get(), down_at_gateway_.get()};
+  smc::RingGroup::connect(down);
+
+  domain_.engine().spawn(uplink_actor());
+  domain_.engine().spawn(relay_actor());
+  domain_.engine().spawn(downlink_actor());
+}
+
+void ClientMux::stop() noexcept {
+  if (stopped_) return;
+  // Deterministic teardown for the whole tier: every in-flight request
+  // resolves (as disconnected) before the actors halt, so no request
+  // coroutine is left suspended forever.
+  disconnect_all();
+  stopped_ = true;
+}
+
+bool ClientMux::relay_stopped() const {
+  return domain_.cluster().node(relay_).stopped();
+}
+
+void ClientMux::return_credit() noexcept {
+  if (credits_avail_ < cfg_.credits) ++credits_avail_;
+  // FIFO hand-off: the freed credit goes to the oldest parked request, not
+  // to whichever coroutine happens to run next — without this, arrivals cut
+  // the line and a parked request's wait grows with the run length.
+  while (credits_avail_ > 0 && !credit_queue_.empty()) {
+    CreditWaiter* w = credit_queue_.front();
+    credit_queue_.pop_front();
+    if (w->abandoned) continue;
+    --credits_avail_;
+    ++tier_.requests_admitted;
+    w->granted = true;
+  }
+  credit_signal_->signal();
+}
+
+sim::Co<ReplyStatus> ClientMux::admit(Session& s) {
+  auto& eng = domain_.engine();
+  if (stopped_ || disconnected_) co_return ReplyStatus::disconnected;
+  if (s.state_ != Session::State::open) {
+    co_return s.state_ == Session::State::disconnected
+        ? ReplyStatus::disconnected
+        : ReplyStatus::cancelled;
+  }
+  if (credit_queue_.empty() && credits_avail_ > 0) {
+    --credits_avail_;
+    ++tier_.requests_admitted;
+    co_return ReplyStatus::ok;
+  }
+  if (credit_waiters_ >= cfg_.admit_watermark) {
+    // Queue-depth watermark: shed with an explicit Busy instead of growing
+    // the parked-request queue without bound.
+    ++tier_.requests_shed;
+    domain_.cluster().tracer().record(
+        gateway_, trace::Stage::admission_shed, eng.now(), 0,
+        domain_.topic_subgroup(topic_), trace::kNoSender, -1,
+        credit_waiters_);
+    co_return ReplyStatus::busy;
+  }
+  CreditWaiter waiter;
+  credit_queue_.push_back(&waiter);
+  ++credit_waiters_;
+  if (credit_waiters_ > tier_.peak_credit_waiters) {
+    tier_.peak_credit_waiters = credit_waiters_;
+  }
+  for (;;) {
+    co_await credit_signal_->wait_for(cfg_.per_message_overhead * 4);
+    if (waiter.granted) {
+      --credit_waiters_;
+      if (stopped_ || disconnected_ || s.state_ != Session::State::open) {
+        return_credit();  // pass it down the line; we are not sending
+        co_return (stopped_ || disconnected_ ||
+                   s.state_ == Session::State::disconnected)
+            ? ReplyStatus::disconnected
+            : ReplyStatus::cancelled;
+      }
+      co_return ReplyStatus::ok;
+    }
+    if (stopped_ || disconnected_) {
+      waiter.abandoned = true;
+      --credit_waiters_;
+      co_return ReplyStatus::disconnected;
+    }
+    if (s.state_ != Session::State::open) {
+      waiter.abandoned = true;
+      --credit_waiters_;
+      co_return s.state_ == Session::State::disconnected
+          ? ReplyStatus::disconnected
+          : ReplyStatus::cancelled;
+    }
+  }
+}
+
+void ClientMux::stage_uplink(std::uint32_t session, std::uint64_t corr,
+                             std::uint32_t kind,
+                             std::span<const std::byte> body) {
+  uplink_staged_.emplace_back(sizeof(MuxFrameHeader) + body.size());
+  auto& frame = uplink_staged_.back();
+  const MuxFrameHeader h{session, kind, corr, -1, 0, 0};
+  std::memcpy(frame.data(), &h, sizeof h);
+  std::memcpy(frame.data() + sizeof h, body.data(), body.size());
+  if (uplink_staged_.size() > tier_.peak_uplink_queue) {
+    tier_.peak_uplink_queue = uplink_staged_.size();
+  }
+  uplink_signal_->signal();
+}
+
+sim::Co<Reply> ClientMux::run_request(Session& s,
+                                      std::span<const std::byte> body) {
+  auto& eng = domain_.engine();
+  if (!started_) {
+    throw std::logic_error("Session::request before Domain::start()");
+  }
+  if (body.size() > max_body_) {
+    throw std::invalid_argument(
+        "Session::request: body of " + std::to_string(body.size()) +
+        " bytes exceeds the topic's " + std::to_string(max_body_) +
+        "-byte request bound");
+  }
+  if (s.state_ != Session::State::open) {
+    co_return Reply{s.state_ == Session::State::disconnected
+                        ? ReplyStatus::disconnected
+                        : ReplyStatus::cancelled,
+                    {}, -1, 0};
+  }
+  const sim::Nanos start = eng.now();
+  ++s.requests_sent_;
+  // Client-endpoint send-path cost (kernel/stack) before the gateway sees
+  // the request.
+  co_await eng.sleep(s.link_.per_message_overhead);
+  const ReplyStatus adm = co_await admit(s);
+  if (adm != ReplyStatus::ok) {
+    if (adm == ReplyStatus::busy) ++s.rejected_busy_;
+    co_return Reply{adm, {}, -1, eng.now() - start};
+  }
+  const std::uint64_t corr = next_corr_++;
+  Session::PendingRequest p;
+  p.start = start;
+  s.pending_.emplace(corr, &p);
+  stage_uplink(s.id_, corr, kKindRequest, body);
+  domain_.cluster().tracer().record(
+      gateway_, trace::Stage::rpc_request, eng.now(), 0,
+      domain_.topic_subgroup(topic_), trace::kNoSender,
+      static_cast<std::int64_t>(s.id_), corr);
+  Reply r = co_await Session::ReplyAwaiter{p};
+  switch (r.status) {
+    case ReplyStatus::ok:
+      ++s.replies_ok_;
+      break;
+    case ReplyStatus::cancelled:
+      ++s.cancelled_;
+      break;
+    case ReplyStatus::disconnected:
+      ++s.disconnected_;
+      break;
+    case ReplyStatus::busy:
+      ++s.rejected_busy_;
+      break;
+  }
+  co_return r;
+}
+
+sim::Co<ReplyStatus> ClientMux::run_publish(Session& s,
+                                            std::span<const std::byte> body) {
+  auto& eng = domain_.engine();
+  if (!started_) {
+    throw std::logic_error("Session::publish before Domain::start()");
+  }
+  if (body.size() > max_body_) {
+    throw std::invalid_argument(
+        "Session::publish: body of " + std::to_string(body.size()) +
+        " bytes exceeds the topic's " + std::to_string(max_body_) +
+        "-byte bound");
+  }
+  if (s.state_ != Session::State::open) {
+    co_return s.state_ == Session::State::disconnected
+        ? ReplyStatus::disconnected
+        : ReplyStatus::cancelled;
+  }
+  ++s.publishes_sent_;
+  co_await eng.sleep(s.link_.per_message_overhead);
+  const ReplyStatus adm = co_await admit(s);
+  if (adm != ReplyStatus::ok) {
+    if (adm == ReplyStatus::busy) ++s.rejected_busy_;
+    co_return adm;
+  }
+  // The credit rides with the frame and returns when the relay observes
+  // the publish's delivery — same pipeline bound as requests.
+  stage_uplink(s.id_, 0, kKindPublish, body);
+  co_return ReplyStatus::ok;
+}
+
+void ClientMux::note_session_closed(Session& s, bool disconnected) noexcept {
+  if (live_sessions_ > 0) --live_sessions_;
+  if (!disconnected) ++tier_.sessions_closed;
+  domain_.cluster().tracer().record(
+      gateway_, trace::Stage::session_close, domain_.engine().now(), 0,
+      domain_.topic_subgroup(topic_), trace::kNoSender,
+      static_cast<std::int64_t>(s.in_flight()), s.id_);
+}
+
+void ClientMux::resolve_all(Session& s, ReplyStatus st) noexcept {
+  auto& eng = domain_.engine();
+  for (auto& [corr, p] : s.pending_) {
+    p->reply.status = st;
+    p->reply.rtt = eng.now() - p->start;
+    p->done = true;
+    if (p->waiter) {
+      eng.schedule_fn(eng.now(), [h = p->waiter] { h.resume(); });
+      p->waiter = {};
+    }
+  }
+  s.pending_.clear();
+}
+
+void ClientMux::cancel_session(Session& s) noexcept {
+  if (s.state_ == Session::State::closed ||
+      s.state_ == Session::State::disconnected) {
+    return;
+  }
+  tier_.requests_cancelled += s.pending_.size();
+  resolve_all(s, ReplyStatus::cancelled);
+  s.state_ = Session::State::closed;
+  s.unsubscribe();
+  note_session_closed(s, false);
+}
+
+sim::Co<> ClientMux::drain_session(Session& s) {
+  if (s.state_ != Session::State::open) co_return;
+  s.state_ = Session::State::draining;
+  while (!s.pending_.empty() && s.state_ == Session::State::draining) {
+    co_await domain_.engine().sleep(cfg_.drain_poll_interval);
+  }
+  // A disconnect during the drain already resolved the requests and
+  // accounted the session; only a clean drain closes it here.
+  if (s.state_ == Session::State::draining) {
+    s.state_ = Session::State::closed;
+    s.unsubscribe();
+    note_session_closed(s, false);
+  }
+}
+
+void ClientMux::disconnect_all() noexcept {
+  if (disconnected_) return;
+  disconnected_ = true;
+  for (auto& sp : sessions_) {
+    Session& s = *sp;
+    if (s.state_ == Session::State::closed ||
+        s.state_ == Session::State::disconnected) {
+      continue;
+    }
+    tier_.disconnects += s.pending_.size();
+    resolve_all(s, ReplyStatus::disconnected);
+    s.state_ = Session::State::disconnected;
+    s.unsubscribe();
+    note_session_closed(s, true);
+  }
+  // The pipeline is gone; nothing will return credits. Reset the pool for
+  // the record (admission refuses anyway) and wake parked requests so they
+  // observe the disconnect.
+  credits_avail_ = cfg_.credits;
+  credit_queue_.clear();
+  credit_signal_->signal();
+  uplink_signal_->signal();
+  uplink_staged_.clear();
+  downlink_staged_.clear();
+}
+
+sim::Co<> ClientMux::uplink_actor() {
+  auto& eng = domain_.engine();
+  const std::vector<std::size_t> to_relay{1};
+  while (!stopped_ && !disconnected_) {
+    if (relay_stopped()) {
+      disconnect_all();
+      co_return;
+    }
+    if (uplink_staged_.empty()) {
+      co_await uplink_signal_->wait_for(cfg_.per_message_overhead * 4);
+      continue;
+    }
+    if (up_sent_ - up_consumed_ >=
+        static_cast<std::int64_t>(cfg_.ring_window) - 1) {
+      // Shared-ring flow control: the relay is behind; staged frames wait
+      // at the gateway (the queue the watermark bounds).
+      co_await eng.sleep(cfg_.per_message_overhead);
+      continue;
+    }
+    const std::int64_t k = up_sent_++;
+    auto& frame = uplink_staged_.front();
+    auto slot = up_at_gateway_->slot_data(k);
+    std::memcpy(slot.data(), frame.data(), frame.size());
+    up_at_gateway_->mark_ready(k, static_cast<std::uint32_t>(frame.size()),
+                               0);
+    uplink_staged_.pop_front();
+    sim::Nanos cost = up_at_gateway_->push_data(k, k + 1, to_relay);
+    cost += up_at_gateway_->push_trailers(k, k + 1, to_relay);
+    co_await eng.sleep(cost + cfg_.per_message_overhead);
+  }
+}
+
+sim::Co<> ClientMux::relay_actor() {
+  auto& eng = domain_.engine();
+  auto& relay = domain_.cluster().node(relay_);
+  auto& doorbell = domain_.cluster().fabric().doorbell(relay_);
+  const core::SubgroupId sg = domain_.topic_subgroup(topic_);
+  while (!stopped_ && !disconnected_) {
+    if (relay.stopped()) {
+      disconnect_all();
+      co_return;
+    }
+    const smc::SlotTrailer t = up_at_relay_->trailer(0, up_consumed_);
+    if (t.count != up_consumed_ + 1) {
+      co_await doorbell.wait_for(cfg_.per_message_overhead * 4);
+      continue;
+    }
+    co_await eng.sleep(cfg_.per_message_overhead);
+    MuxFrameHeader h;
+    const auto bytes = up_at_relay_->message(0, up_consumed_, t.len);
+    std::memcpy(&h, bytes.data(), sizeof h);
+    const auto body = bytes.subspan(sizeof h);
+    // The extra relaying step (§4.6), multiplexed: re-publish the frame
+    // into the subgroup as a flagged envelope, so every client request is
+    // totally ordered with member publications. send() blocking on the
+    // multicast window is the backpressure cascade: the uplink ring fills
+    // behind us, the gateway queue grows, credits starve, the watermark
+    // sheds.
+    const RpcEnvelope env{mux_id_, h.session, h.corr, h.kind, 0};
+    co_await relay.send(
+        sg, static_cast<std::uint32_t>(sizeof env + body.size()),
+        [&env, body](std::span<std::byte> buf) {
+          std::memcpy(buf.data(), &env, sizeof env);
+          std::memcpy(buf.data() + sizeof env, body.data(), body.size());
+        },
+        kRpcEnvelopeFlag);
+    ++up_consumed_;
+  }
+}
+
+void ClientMux::on_topic_delivery(const Sample& sample,
+                                  const RpcEnvelope* env) {
+  // Runs inside the relay's delivery upcall: stage only, never block the
+  // polling thread (§3.5).
+  if (stopped_ || disconnected_) return;
+  bool staged = false;
+  if (env != nullptr && env->mux == mux_id_) {
+    // Our envelope completed the ordered pipeline. A publish's credit comes
+    // back here; a request's credit rides on with the reply and returns at
+    // the gateway demux — the round trip, downlink included, is what the
+    // pool bounds (returning at delivery would let the reply queue grow
+    // without limit whenever the downlink is the bottleneck).
+    if (env->kind == kKindPublish) return_credit();
+    if (env->kind == kKindRequest) {
+      std::vector<std::byte> reply = cfg_.service(sample.data);
+      if (reply.size() > domain_.topic_max_sample(topic_)) {
+        throw std::logic_error(
+            "ClientMux service reply exceeds the topic's max sample size");
+      }
+      downlink_staged_.emplace_back(sizeof(MuxFrameHeader) + reply.size());
+      auto& frame = downlink_staged_.back();
+      const MuxFrameHeader h{env->session, kKindReply, env->corr,
+                             sample.sequence,
+                             static_cast<std::uint32_t>(sample.publisher),
+                             static_cast<std::uint32_t>(ReplyStatus::ok)};
+      std::memcpy(frame.data(), &h, sizeof h);
+      std::memcpy(frame.data() + sizeof h, reply.data(), reply.size());
+      staged = true;
+    }
+  }
+  for (auto& sp : sessions_) {
+    Session& s = *sp;
+    if (!s.subscribed_) continue;
+    downlink_staged_.emplace_back(sizeof(MuxFrameHeader) +
+                                  sample.data.size());
+    auto& frame = downlink_staged_.back();
+    const MuxFrameHeader h{s.id_, kKindSample, 0, sample.sequence,
+                           static_cast<std::uint32_t>(sample.publisher), 0};
+    std::memcpy(frame.data(), &h, sizeof h);
+    std::memcpy(frame.data() + sizeof h, sample.data.data(),
+                sample.data.size());
+    staged = true;
+  }
+  if (staged) {
+    if (downlink_staged_.size() > tier_.peak_downlink_queue) {
+      tier_.peak_downlink_queue = downlink_staged_.size();
+    }
+    // Kick the downlink actor (it waits on the gateway doorbell): models
+    // the relay's link thread being woken by the staging.
+    domain_.cluster().fabric().doorbell(gateway_).signal();
+  }
+}
+
+void ClientMux::complete(Session& s, std::uint64_t corr, Reply&& r) {
+  auto it = s.pending_.find(corr);
+  if (it == s.pending_.end()) {
+    // The session cancelled while the reply was in the pipe; counted, not
+    // silently dropped.
+    ++tier_.late_replies;
+    return;
+  }
+  auto& eng = domain_.engine();
+  Session::PendingRequest* p = it->second;
+  s.pending_.erase(it);
+  r.rtt = eng.now() - p->start;
+  ++tier_.replies_completed;
+  domain_.cluster().tracer().record(
+      gateway_, trace::Stage::rpc_reply, eng.now(), r.rtt,
+      domain_.topic_subgroup(topic_), trace::kNoSender,
+      static_cast<std::int64_t>(s.id_), corr);
+  p->reply = std::move(r);
+  p->done = true;
+  if (p->waiter) {
+    eng.schedule_fn(eng.now(), [h = p->waiter] { h.resume(); });
+    p->waiter = {};
+  }
+}
+
+sim::Co<> ClientMux::downlink_actor() {
+  auto& eng = domain_.engine();
+  auto& doorbell = domain_.cluster().fabric().doorbell(gateway_);
+  const std::vector<std::size_t> to_gateway{0};
+  while (!stopped_) {
+    bool progress = false;
+    // Relay side: ship staged reply/sample frames down the shared ring.
+    while (!downlink_staged_.empty() &&
+           down_sent_ - down_consumed_ <
+               static_cast<std::int64_t>(cfg_.ring_window) - 1 &&
+           !relay_stopped() && !disconnected_ && !stopped_) {
+      const std::int64_t k = down_sent_++;
+      auto& frame = downlink_staged_.front();
+      auto slot = down_at_relay_->slot_data(k);
+      std::memcpy(slot.data(), frame.data(), frame.size());
+      down_at_relay_->mark_ready(k, static_cast<std::uint32_t>(frame.size()),
+                                 0);
+      downlink_staged_.pop_front();
+      sim::Nanos cost = down_at_relay_->push_data(k, k + 1, to_gateway);
+      cost += down_at_relay_->push_trailers(k, k + 1, to_gateway);
+      co_await eng.sleep(cost + cfg_.per_message_overhead);
+      progress = true;
+    }
+    // Gateway side: demux arrived frames to their sessions.
+    for (;;) {
+      if (stopped_) co_return;
+      const smc::SlotTrailer t = down_at_gateway_->trailer(0, down_consumed_);
+      if (t.count != down_consumed_ + 1) break;
+      co_await eng.sleep(cfg_.per_message_overhead);
+      const auto bytes = down_at_gateway_->message(0, down_consumed_, t.len);
+      MuxFrameHeader h;
+      std::memcpy(&h, bytes.data(), sizeof h);
+      const auto body = bytes.subspan(sizeof h);
+      if (h.session < sessions_.size()) {
+        Session& s = *sessions_[h.session];
+        if (h.kind == kKindReply) {
+          return_credit();
+          Reply r;
+          r.status = static_cast<ReplyStatus>(h.status);
+          r.seq = h.seq;
+          r.data.assign(body.begin(), body.end());
+          complete(s, h.corr, std::move(r));
+        } else if (h.kind == kKindSample && s.subscribed_) {
+          ++s.samples_received_;
+          if (s.listener_) {
+            s.listener_(Sample{topic_, h.publisher, h.seq, body});
+          }
+        }
+      }
+      ++down_consumed_;
+      progress = true;
+    }
+    if (!progress) {
+      if (disconnected_) co_return;
+      if (relay_stopped()) {
+        disconnect_all();
+        co_return;
+      }
+      co_await doorbell.wait_for(cfg_.per_message_overhead * 4);
+    }
+  }
+}
+
+// --- Session methods bridging into the mux ---
+
+sim::Co<Reply> Session::request(std::span<const std::byte> body) {
+  return mux_->run_request(*this, body);
+}
+
+sim::Co<ReplyStatus> Session::publish(std::span<const std::byte> body) {
+  return mux_->run_publish(*this, body);
+}
+
+sim::Co<> Session::close() { return mux_->drain_session(*this); }
+
+void Session::cancel() noexcept { mux_->cancel_session(*this); }
+
+}  // namespace spindle::dds

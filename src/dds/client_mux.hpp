@@ -1,0 +1,181 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dds/dds.hpp"
+#include "dds/session.hpp"
+#include "metrics/registry.hpp"
+#include "smc/ring.hpp"
+
+namespace spindle::dds {
+
+/// Trailer flag bit (core::Delivery::flags) tagging a multicast payload as
+/// a front-tier RPC envelope: [RpcEnvelope][body] instead of raw sample
+/// bytes. Bit 0 is the protocol's null marker; the front tier owns bit 1.
+inline constexpr std::uint32_t kRpcEnvelopeFlag = 2u;
+
+/// Prefix of every mux-published multicast payload. Travels through the
+/// totally-ordered subgroup so the owning relay can route the reply back
+/// to the session that asked, and every other member can strip it before
+/// the application upcall.
+struct RpcEnvelope {
+  std::uint32_t mux;      // Domain-assigned mux id (owner of the reply)
+  std::uint32_t session;  // session id within the mux
+  std::uint64_t corr;     // correlation id of the request
+  std::uint32_t kind;     // 0 = request (reply expected), 1 = publish
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(RpcEnvelope) == 24);
+
+/// Admission and link parameters of one ClientMux.
+struct MuxConfig {
+  /// Shared mailbox-ring depth per direction (frames in flight on the
+  /// gateway<->relay link, across *all* sessions).
+  std::uint32_t ring_window = 512;
+  /// In-flight credit pool: requests + publishes admitted into the relay
+  /// pipeline at once. A credit is taken at admission and returned when the
+  /// round trip ends — at the gateway demux of the reply for a request, at
+  /// the relay's delivery observation for a publish.
+  std::uint32_t credits = 128;
+  /// Queue-depth watermark: when this many requests are already parked
+  /// waiting for a credit, further arrivals are shed with ReplyStatus::busy
+  /// instead of queued — the explicit-rejection half of backpressure.
+  std::uint32_t admit_watermark = 256;
+  /// connect() beyond this many live sessions is refused (nullptr).
+  std::uint32_t max_sessions = 1u << 20;
+  /// Per-frame software overhead at the gateway and relay link endpoints.
+  sim::Nanos per_message_overhead = 3'000;
+  /// Poll period of Session::close() while draining in-flight requests.
+  sim::Nanos drain_poll_interval = 2'000;
+  /// Service function run at the relay for each request (in delivery
+  /// order). Default: echo the request body.
+  std::function<std::vector<std::byte>(std::span<const std::byte>)> service;
+};
+
+/// Per-relay front-tier multiplexer (§4.6's "extra relaying step", scaled):
+/// one *gateway* fabric node aggregates thousands of client sessions and
+/// connects to one relay member over a single shared mailbox-ring pair.
+/// Three actors total — uplink shipper (gateway), relay ingress (consumes
+/// the ring and re-publishes each frame into the topic's subgroup as a
+/// flagged RPC envelope, so client requests are totally ordered with member
+/// publications), and the downlink driver (ships replies/samples and runs
+/// the gateway's demux) — regardless of session count.
+///
+/// Admission control: a request takes a credit from the per-relay pool or
+/// parks below the watermark; at the watermark it is shed with `busy`.
+/// Credits return when the relay sees the delivery, so a saturated
+/// multicast window propagates backpressure: deliveries slow -> credits
+/// starve -> arrivals park -> the watermark sheds.
+class ClientMux {
+ public:
+  ClientMux(const ClientMux&) = delete;
+  ClientMux& operator=(const ClientMux&) = delete;
+  ~ClientMux();
+
+  /// Admit a new session, or nullptr when the mux is disconnected or at
+  /// max_sessions (the session-level shed; counted in stats). Valid before
+  /// and after Domain::start(); sessions are owned by the mux.
+  Session* connect(SessionLink link = {});
+
+  net::NodeId relay_node() const noexcept { return relay_; }
+  net::NodeId gateway_node() const noexcept { return gateway_; }
+  std::uint8_t topic_id() const noexcept { return topic_; }
+  bool connected() const noexcept { return !disconnected_; }
+
+  std::uint32_t credits_available() const noexcept { return credits_avail_; }
+  std::uint32_t credit_waiters() const noexcept { return credit_waiters_; }
+  std::size_t live_sessions() const noexcept { return live_sessions_; }
+
+  /// Point-in-time copy of this mux's admission/occupancy counters (the
+  /// same record Cluster::stats() surfaces in ClusterStats::relays).
+  metrics::RelayTierStats tier_stats() const;
+
+ private:
+  friend class Domain;
+  friend class Session;
+
+  ClientMux(Domain& domain, std::uint32_t mux_id, std::uint8_t topic,
+            net::NodeId gateway, net::NodeId relay, MuxConfig cfg);
+
+  void start();  // build the shared rings, spawn the three actors
+  /// Domain::shutdown: resolve every in-flight request (deterministic
+  /// teardown) and halt the actors.
+  void stop() noexcept;
+
+  /// Relay delivery upcall (from the Domain handler; must not block): for
+  /// an envelope this mux owns, return the credit and stage the reply; fan
+  /// every sample out to subscribed sessions.
+  void on_topic_delivery(const Sample& sample, const RpcEnvelope* env);
+
+  sim::Co<> uplink_actor();    // gateway: staged frames -> uplink ring
+  sim::Co<> relay_actor();     // relay: uplink ring -> subgroup publish
+  sim::Co<> downlink_actor();  // relay ship + gateway demux
+
+  // Session-facing internals (Session methods live in client_mux.cpp).
+  sim::Co<Reply> run_request(Session& s, std::span<const std::byte> body);
+  sim::Co<ReplyStatus> run_publish(Session& s, std::span<const std::byte> body);
+  sim::Co<> drain_session(Session& s);
+  void cancel_session(Session& s) noexcept;
+
+  /// Credit-pool admission: true when a credit was taken, false when shed
+  /// at the watermark (sets `shed`). Waits while parked below watermark.
+  sim::Co<ReplyStatus> admit(Session& s);
+  void return_credit() noexcept;
+  void stage_uplink(std::uint32_t session, std::uint64_t corr,
+                    std::uint32_t kind, std::span<const std::byte> body);
+  void complete(Session& s, std::uint64_t corr, Reply&& r);
+  /// Resolve every in-flight request of `s` with `st` immediately, waking
+  /// the awaiting coroutines through the event queue.
+  void resolve_all(Session& s, ReplyStatus st) noexcept;
+  void disconnect_all() noexcept;
+  bool relay_stopped() const;
+  void note_session_closed(Session& s, bool disconnected) noexcept;
+
+  Domain& domain_;
+  std::uint32_t mux_id_;
+  std::uint8_t topic_;
+  net::NodeId gateway_;
+  net::NodeId relay_;
+  MuxConfig cfg_;
+  std::uint32_t max_body_;  // topic max sample minus the envelope
+
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::size_t live_sessions_ = 0;
+
+  // Credit pool. Parked requests queue FIFO (each return_credit grants the
+  // head), so an accepted request's admission wait is bounded by the
+  // watermark times the per-credit service time — overload inflates the
+  // tail to that bound and no further.
+  struct CreditWaiter {
+    bool granted = false;    // a returned credit was consumed on our behalf
+    bool abandoned = false;  // waiter left (cancel/disconnect); skip it
+  };
+  std::uint32_t credits_avail_;
+  std::uint32_t credit_waiters_ = 0;
+  std::deque<CreditWaiter*> credit_queue_;
+  std::unique_ptr<sim::Signal> credit_signal_;
+  std::uint64_t next_corr_ = 1;
+
+  // Shared mailbox rings (local copies at both endpoints), one pair for
+  // every session of this mux.
+  std::unique_ptr<smc::RingGroup> up_at_gateway_, up_at_relay_;
+  std::unique_ptr<smc::RingGroup> down_at_relay_, down_at_gateway_;
+  std::int64_t up_sent_ = 0, up_consumed_ = 0;
+  std::int64_t down_sent_ = 0, down_consumed_ = 0;
+
+  std::deque<std::vector<std::byte>> uplink_staged_;
+  std::deque<std::vector<std::byte>> downlink_staged_;
+  std::unique_ptr<sim::Signal> uplink_signal_;
+
+  bool started_ = false;
+  bool stopped_ = false;
+  bool disconnected_ = false;
+
+  metrics::RelayTierStats tier_;  // counter block behind cluster.stats()
+};
+
+}  // namespace spindle::dds

@@ -1,5 +1,6 @@
 #include "dds/dds.hpp"
 
+#include "dds/client_mux.hpp"
 #include "dds/external.hpp"
 
 #include <algorithm>
@@ -28,6 +29,7 @@ Domain::~Domain() { shutdown(); }
 
 void Domain::shutdown() {
   for (auto& client : clients_) client->stop();
+  for (auto& mux : muxes_) mux->stop();
   cluster_.shutdown();
 }
 
@@ -103,24 +105,37 @@ void Domain::start() {
       DataReader* r = reader.get();
       const Qos qos = ts.cfg.qos;
 
-      std::vector<ExternalClient*> forwards;
-      if (auto it = ts.forwards.find(sub); it != ts.forwards.end()) {
-        forwards = it->second;
+      std::vector<ClientMux*> muxes;
+      if (auto it = ts.muxes.find(sub); it != ts.muxes.end()) {
+        muxes = it->second;
       }
       cluster_.node(sub).set_delivery_handler(
           ts.subgroup,
-          [r, topic_id, qos, forwards](const core::Delivery& d) {
+          [r, topic_id, qos, muxes](const core::Delivery& d) {
+            // Front-tier RPC envelopes ride the total order tagged with a
+            // trailer flag; strip the header so the application (readers,
+            // listeners, storage) sees only the client's payload.
+            std::span<const std::byte> body = d.data;
+            RpcEnvelope env_buf;
+            const RpcEnvelope* env = nullptr;
+            if ((d.flags & kRpcEnvelopeFlag) != 0 &&
+                d.data.size() >= sizeof(RpcEnvelope)) {
+              std::memcpy(&env_buf, d.data.data(), sizeof env_buf);
+              env = &env_buf;
+              body = d.data.subspan(sizeof env_buf);
+            }
             ++r->samples_;
             if (qos == Qos::volatile_storage || qos == Qos::logged_storage) {
-              r->history_.emplace_back(d.data.begin(), d.data.end());
+              r->history_.emplace_back(body.begin(), body.end());
               if (qos == Qos::logged_storage) {
-                r->logged_bytes_ += d.data.size();
+                r->logged_bytes_ += body.size();
               }
             }
-            const Sample sample{topic_id, d.sender, d.seq, d.data};
+            const Sample sample{topic_id, d.sender, d.seq, body};
             if (r->listener_) r->listener_(sample);
-            // Relay deliveries down to attached external clients (§4.6).
-            for (ExternalClient* c : forwards) c->forward_sample(sample);
+            // Front-tier muxes (§4.6's relaying step): reply generation,
+            // credit return, and session subscription fanout.
+            for (ClientMux* m : muxes) m->on_topic_delivery(sample, env);
           });
       if (qos == Qos::logged_storage) {
         // The SSD append runs on the delivery path (paper: "data is
@@ -133,7 +148,15 @@ void Domain::start() {
       ts.readers.emplace(sub, std::move(reader));
     }
   }
-  for (auto& client : clients_) client->start();
+  for (auto& mux : muxes_) {
+    mux->start();
+    // Surface the mux's admission/occupancy counters through
+    // cluster.stats() next to the protocol counters.
+    cluster_.registry().add_collector(
+        [m = mux.get()](metrics::ClusterStats& stats) {
+          stats.relays.push_back(m->tier_stats());
+        });
+  }
 }
 
 DataWriter Domain::writer(net::NodeId node, std::uint8_t topic_id) {
@@ -158,31 +181,71 @@ ExternalClient& Domain::create_external_client(std::uint8_t topic_id,
                                                net::NodeId client_node,
                                                net::NodeId relay,
                                                ClientLinkModel link) {
-  if (started_) throw std::logic_error("create_external_client after start");
+  // Deprecated shim: a single-session mux whose gateway is the client's
+  // own machine. The credit pool mirrors the legacy window/2 in-flight
+  // bound; the watermark matches the old ring depth.
+  MuxConfig mc;
+  mc.ring_window = std::max<std::uint32_t>(2, link.window);
+  mc.credits = std::max<std::uint32_t>(1, link.window / 2);
+  mc.admit_watermark = link.window;
+  mc.per_message_overhead = link.per_message_overhead;
+  ClientMux& mux =
+      create_client_mux(topic_id, client_node, relay, std::move(mc));
+  clients_.push_back(std::unique_ptr<ExternalClient>(
+      new ExternalClient(*this, mux, client_node, link)));
+  return *clients_.back();
+}
+
+ClientMux& Domain::create_client_mux(std::uint8_t topic_id,
+                                     net::NodeId gateway_node,
+                                     net::NodeId relay, MuxConfig cfg) {
+  if (started_) {
+    throw std::logic_error("create_client_mux after Domain::start()");
+  }
   TopicState& ts = topic(topic_id);
   if (std::find(ts.cfg.subscribers.begin(), ts.cfg.subscribers.end(),
                 relay) == ts.cfg.subscribers.end()) {
-    throw std::invalid_argument("relay must subscribe to the topic");
+    throw std::invalid_argument(
+        "create_client_mux: relay must subscribe to the topic");
   }
   if (std::find(ts.cfg.publishers.begin(), ts.cfg.publishers.end(), relay) ==
       ts.cfg.publishers.end()) {
     throw std::invalid_argument(
-        "relay must be a publisher (it re-publishes client samples)");
+        "create_client_mux: relay must be a publisher (it re-publishes "
+        "session traffic)");
+  }
+  if (gateway_node == relay) {
+    throw std::invalid_argument(
+        "create_client_mux: gateway must be a distinct fabric node");
+  }
+  if (gateway_node >= cluster_.fabric().size()) {
+    throw std::invalid_argument(
+        "create_client_mux: gateway node is outside the fabric (size the "
+        "cluster with enough nodes for the gateways)");
   }
   for (net::NodeId m : ts.cfg.publishers) {
-    if (m == client_node) {
-      throw std::invalid_argument("client node must be outside the topic");
+    if (m == gateway_node) {
+      throw std::invalid_argument(
+          "create_client_mux: gateway node must be outside the topic");
     }
   }
   for (net::NodeId m : ts.cfg.subscribers) {
-    if (m == client_node) {
-      throw std::invalid_argument("client node must be outside the topic");
+    if (m == gateway_node) {
+      throw std::invalid_argument(
+          "create_client_mux: gateway node must be outside the topic");
     }
   }
-  clients_.push_back(std::unique_ptr<ExternalClient>(
-      new ExternalClient(*this, topic_id, client_node, relay, link)));
-  ts.forwards[relay].push_back(clients_.back().get());
-  return *clients_.back();
+  const auto mux_id = static_cast<std::uint32_t>(muxes_.size());
+  muxes_.push_back(std::unique_ptr<ClientMux>(new ClientMux(
+      *this, mux_id, topic_id, gateway_node, relay, std::move(cfg))));
+  ts.muxes[relay].push_back(muxes_.back().get());
+  return *muxes_.back();
+}
+
+ClientMux& Domain::create_client_mux(std::uint8_t topic_id,
+                                     net::NodeId gateway_node,
+                                     net::NodeId relay) {
+  return create_client_mux(topic_id, gateway_node, relay, MuxConfig{});
 }
 
 std::uint64_t Domain::total_samples(std::uint8_t topic_id) const {

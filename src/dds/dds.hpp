@@ -76,6 +76,8 @@ class SsdModel {
 class Domain;
 class ExternalClient;
 struct ClientLinkModel;
+class ClientMux;
+struct MuxConfig;
 
 /// Publisher endpoint for one topic at one node. Supports in-place sample
 /// construction (§4.6: "construct messages in place, then mark them ready
@@ -142,17 +144,29 @@ class Domain {
   DataWriter writer(net::NodeId node, std::uint8_t topic_id);
   DataReader& reader(net::NodeId node, std::uint8_t topic_id);
 
-  /// Attach an external client (dds/external.hpp) to `topic_id` through
-  /// `relay` (which must be a subscriber). `client_node` is a fabric node
-  /// outside the topic's membership (the client's machine). Call before
-  /// start().
+  /// Deprecated shim (one release, see CHANGES.md): attach a raw
+  /// ExternalClient (dds/external.hpp) to `topic_id` through `relay`. New
+  /// code should use create_client_mux + Session instead.
   ExternalClient& create_external_client(std::uint8_t topic_id,
                                          net::NodeId client_node,
                                          net::NodeId relay,
                                          ClientLinkModel link);
 
+  /// Attach a front-tier multiplexer (dds/client_mux.hpp) to `topic_id`:
+  /// `gateway_node` is a fabric node outside the topic's membership that
+  /// aggregates the client sessions; `relay` is a topic member (subscriber
+  /// and publisher) that re-publishes session traffic into the total
+  /// order. Call before start(); connect sessions any time.
+  ClientMux& create_client_mux(std::uint8_t topic_id, net::NodeId gateway_node,
+                               net::NodeId relay, MuxConfig cfg);
+  ClientMux& create_client_mux(std::uint8_t topic_id, net::NodeId gateway_node,
+                               net::NodeId relay);
+
   std::uint32_t topic_max_sample(std::uint8_t topic_id) const {
     return topic(topic_id).cfg.max_sample_size;
+  }
+  core::SubgroupId topic_subgroup(std::uint8_t topic_id) const {
+    return topic(topic_id).subgroup;
   }
 
   core::Cluster& cluster() { return cluster_; }
@@ -168,8 +182,8 @@ class Domain {
     TopicConfig cfg;
     core::SubgroupId subgroup;
     std::map<net::NodeId, std::unique_ptr<DataReader>> readers;
-    // relay node -> external clients fed from that relay's deliveries
-    std::map<net::NodeId, std::vector<ExternalClient*>> forwards;
+    // relay node -> front-tier muxes fed from that relay's deliveries
+    std::map<net::NodeId, std::vector<ClientMux*>> muxes;
   };
   TopicState& topic(std::uint8_t id);
   const TopicState& topic(std::uint8_t id) const;
@@ -177,6 +191,9 @@ class Domain {
   core::Cluster cluster_;
   SsdModel ssd_;
   std::map<std::uint8_t, TopicState> topics_;
+  // muxes_ before clients_: each ExternalClient shim holds a Subscription
+  // on a Session its mux owns, so the shims must be destroyed first.
+  std::vector<std::unique_ptr<ClientMux>> muxes_;
   std::vector<std::unique_ptr<ExternalClient>> clients_;
   bool started_ = false;
 };

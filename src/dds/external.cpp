@@ -1,160 +1,49 @@
 #include "dds/external.hpp"
 
-#include <cstring>
+#include <stdexcept>
+
+#include "dds/client_mux.hpp"
 
 namespace spindle::dds {
 
-namespace {
-/// Downlink frame header: the relay forwards topic metadata with the data.
-struct FrameHeader {
-  std::uint32_t publisher;
-  std::uint32_t pad;
-  std::int64_t sequence;
-};
-static_assert(sizeof(FrameHeader) == 16);
-}  // namespace
-
-ExternalClient::ExternalClient(Domain& domain, std::uint8_t topic,
-                               net::NodeId client_node,
-                               net::NodeId relay_node, ClientLinkModel link)
+ExternalClient::ExternalClient(Domain& domain, ClientMux& mux,
+                               net::NodeId client_node, ClientLinkModel link)
     : domain_(domain),
-      topic_(topic),
+      mux_(mux),
       client_node_(client_node),
-      relay_node_(relay_node),
-      link_(link) {}
-
-void ExternalClient::start() {
-  auto& fabric = domain_.cluster().fabric();
-  const std::vector<net::NodeId> members{client_node_, relay_node_};
-  const std::uint32_t frame =
-      domain_.topic_max_sample(topic_) + sizeof(FrameHeader);
-
-  up_at_client_ = std::make_unique<smc::RingGroup>(
-      fabric, client_node_, members, 0, 1, link_.window, frame);
-  up_at_relay_ = std::make_unique<smc::RingGroup>(
-      fabric, relay_node_, members, SIZE_MAX, 1, link_.window, frame);
-  smc::RingGroup* up[] = {up_at_client_.get(), up_at_relay_.get()};
-  smc::RingGroup::connect(up);
-
-  // The downlink ring's "sender" is the relay (member index 1 in the same
-  // member list, sender index 0 of this ring).
-  down_at_relay_ = std::make_unique<smc::RingGroup>(
-      fabric, relay_node_, members, 0, 1, link_.window, frame);
-  down_at_client_ = std::make_unique<smc::RingGroup>(
-      fabric, client_node_, members, SIZE_MAX, 1, link_.window, frame);
-  smc::RingGroup* down[] = {down_at_relay_.get(), down_at_client_.get()};
-  smc::RingGroup::connect(down);
-
-  domain_.engine().spawn(relay_uplink_actor());
-  domain_.engine().spawn(client_downlink_actor());
+      link_(link),
+      session_(mux.connect(SessionLink{link.per_message_overhead})) {
+  if (session_ == nullptr) {
+    throw std::logic_error("ExternalClient: session admission refused");
+  }
 }
 
 sim::Co<> ExternalClient::publish_bytes(std::span<const std::byte> sample) {
-  auto& eng = domain_.engine();
-  // Link flow control: at most `window` frames in flight uplink. The relay
-  // acknowledges consumption by bumping the downlink... we poll the relay's
-  // consumed count, which it mirrors into the uplink ring by reusing the
-  // trailer of the *down* ring? Simpler and robust: bound by window/2 and
-  // poll our own unacked count against relayed_ (observed via the ring we
-  // own locally — the relay actor advances up_consumed_ in this object;
-  // both live in one simulation process, modeling the client library's
-  // sliding window).
-  while (up_sent_ - up_consumed_ >=
-         static_cast<std::int64_t>(link_.window) / 2) {
-    co_await eng.sleep(link_.per_message_overhead);
-    if (stopped_) co_return;
-  }
-  const std::int64_t k = up_sent_++;
-  auto slot = up_at_client_->slot_data(k);
-  std::memcpy(slot.data(), sample.data(), sample.size());
-  up_at_client_->mark_ready(k, static_cast<std::uint32_t>(sample.size()), 0);
-  const std::vector<std::size_t> to_relay{1};
-  sim::Nanos cost = up_at_client_->push_data(k, k + 1, to_relay);
-  cost += up_at_client_->push_trailers(k, k + 1, to_relay);
-  ++published_;
-  // Kernel/stack cost of the client's send path.
-  co_await eng.sleep(cost + link_.per_message_overhead);
-}
-
-sim::Co<> ExternalClient::relay_uplink_actor() {
-  auto& eng = domain_.engine();
-  auto& relay_node = domain_.cluster().node(relay_node_);
-  auto writer = domain_.writer(relay_node_, topic_);
-  auto& doorbell = domain_.cluster().fabric().doorbell(relay_node_);
-  while (!relay_node.stopped() && !stopped_) {
-    const smc::SlotTrailer t = up_at_relay_->trailer(0, up_consumed_);
-    if (t.count != up_consumed_ + 1) {
-      co_await doorbell.wait_for(link_.per_message_overhead * 4);
-      continue;
-    }
-    // Extra relaying step (§4.6): receive from the link, re-publish into
-    // the topic's subgroup so the sample is totally ordered with member
-    // publications.
-    co_await eng.sleep(link_.per_message_overhead);
-    const auto data = up_at_relay_->message(0, up_consumed_, t.len);
-    co_await writer.publish_bytes(data);
-    ++up_consumed_;
+  // The legacy surface had no Busy: it waited for link credit. Preserve
+  // that by retrying shed publishes after a link-overhead backoff.
+  for (;;) {
+    const ReplyStatus st = co_await session_->publish(sample);
+    if (st != ReplyStatus::busy) co_return;
+    co_await domain_.engine().sleep(link_.per_message_overhead);
   }
 }
 
-void ExternalClient::forward_sample(const Sample& s) {
-  // Runs inside the relay's delivery upcall: stage the frame and let the
-  // relay's link actor ship it (never block the polling thread, §3.5).
-  relay_out_.push_back({});
-  auto& frame = relay_out_.back();
-  frame.resize(sizeof(FrameHeader) + s.data.size());
-  FrameHeader h{static_cast<std::uint32_t>(s.publisher), 0, s.sequence};
-  std::memcpy(frame.data(), &h, sizeof h);
-  std::memcpy(frame.data() + sizeof h, s.data.data(), s.data.size());
+void ExternalClient::set_listener(SampleListener listener) {
+  if (listener) {
+    sub_ = session_->subscribe(std::move(listener));
+  } else {
+    sub_.cancel();
+  }
 }
 
-sim::Co<> ExternalClient::client_downlink_actor() {
-  auto& eng = domain_.engine();
-  auto& relay_node = domain_.cluster().node(relay_node_);
-  auto& doorbell = domain_.cluster().fabric().doorbell(client_node_);
-  const std::vector<std::size_t> to_client{0};
-  while (!stopped_) {
-    // Relay side: ship staged frames down the link (bounded by the ring).
-    bool progress = false;
-    while (!relay_out_.empty() &&
-           down_sent_ - down_consumed_ <
-               static_cast<std::int64_t>(link_.window) - 1 &&
-           !relay_node.stopped()) {
-      const std::int64_t k = down_sent_++;
-      auto& frame = relay_out_.front();
-      auto slot = down_at_relay_->slot_data(k);
-      std::memcpy(slot.data(), frame.data(), frame.size());
-      down_at_relay_->mark_ready(
-          k, static_cast<std::uint32_t>(frame.size()), 0);
-      relay_out_.pop_front();
-      sim::Nanos cost = down_at_relay_->push_data(k, k + 1, to_client);
-      cost += down_at_relay_->push_trailers(k, k + 1, to_client);
-      co_await eng.sleep(cost + link_.per_message_overhead);
-      progress = true;
-    }
-    // Client side: consume arrived frames.
-    for (;;) {
-      const smc::SlotTrailer t =
-          down_at_client_->trailer(0, down_consumed_);
-      if (t.count != down_consumed_ + 1) break;
-      co_await eng.sleep(link_.per_message_overhead);
-      const auto bytes =
-          down_at_client_->message(0, down_consumed_, t.len);
-      FrameHeader h;
-      std::memcpy(&h, bytes.data(), sizeof h);
-      ++received_;
-      if (listener_) {
-        listener_(Sample{topic_, h.publisher, h.sequence,
-                         bytes.subspan(sizeof h)});
-      }
-      ++down_consumed_;
-      progress = true;
-    }
-    if (!progress) {
-      if (relay_node.stopped()) co_return;
-      co_await doorbell.wait_for(link_.per_message_overhead * 4);
-    }
-  }
+void ExternalClient::stop() noexcept { session_->cancel(); }
+
+std::uint64_t ExternalClient::samples_received() const noexcept {
+  return session_->samples_received();
+}
+
+std::uint64_t ExternalClient::samples_published() const noexcept {
+  return session_->publishes_sent();
 }
 
 }  // namespace spindle::dds

@@ -1,14 +1,14 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <memory>
-#include <vector>
+#include <span>
 
 #include "dds/dds.hpp"
-#include "smc/ring.hpp"
+#include "dds/session.hpp"
 
 namespace spindle::dds {
+
+class ClientMux;
 
 /// Cost model for a client <-> relay connection. The paper's DDS supports
 /// external clients over TCP or RDMA; both are one-to-one links with an
@@ -21,17 +21,16 @@ struct ClientLinkModel {
   std::uint32_t window = 256;
 };
 
-/// An external DDS participant: a process outside the Derecho top-level
-/// group that publishes to and subscribes from one topic through a *relay*
-/// member (§4.6: "external clients that connect to the DDS via TCP or
-/// RDMA, requiring an extra relaying step").
+/// DEPRECATED (kept as a shim for one release, see CHANGES.md): the raw
+/// external-client surface from before the front tier. It is now a thin
+/// wrapper over a single-session dds::ClientMux — new code should call
+/// Domain::create_client_mux and use the Session API (request/publish,
+/// RAII Subscription) directly; session() is the migration escape hatch.
 ///
-/// The connection is a pair of one-way mailbox rings (reusing the SMC ring
-/// machinery) between a dedicated fabric node (the client's machine) and
-/// the relay. The relay runs an actor that re-publishes the client's
-/// samples into the topic's subgroup — so client sends are totally ordered
-/// with member sends — and forwards every delivered sample back down the
-/// link.
+/// Semantics preserved: publish_bytes() completes when the sample is
+/// handed to the link (retrying internally if admission sheds it), and
+/// set_listener subscribes the client to every topic sample. Semantics
+/// changed: samples are only counted/delivered while a listener is set.
 class ExternalClient {
  public:
   /// Queue a sample for publication through the relay. Completes when the
@@ -39,53 +38,30 @@ class ExternalClient {
   sim::Co<> publish_bytes(std::span<const std::byte> sample);
 
   /// Listener for samples relayed down from the topic (runs on the
-  /// client's simulated thread).
-  void set_listener(SampleListener listener) {
-    listener_ = std::move(listener);
-  }
+  /// client's simulated thread). Pass nullptr to unsubscribe.
+  void set_listener(SampleListener listener);
 
-  /// Halt the link actors (called by Domain::shutdown before teardown).
-  void stop() noexcept { stopped_ = true; }
+  /// Halt the client (in-flight requests resolve as cancelled).
+  void stop() noexcept;
 
-  std::uint64_t samples_received() const noexcept { return received_; }
-  std::uint64_t samples_published() const noexcept { return published_; }
+  std::uint64_t samples_received() const noexcept;
+  std::uint64_t samples_published() const noexcept;
   net::NodeId node() const noexcept { return client_node_; }
+
+  /// The Session this shim wraps — migrate call sites onto it.
+  Session& session() noexcept { return *session_; }
 
  private:
   friend class Domain;
-  ExternalClient(Domain& domain, std::uint8_t topic, net::NodeId client_node,
-                 net::NodeId relay_node, ClientLinkModel link);
-
-  void start();  // spawn the relay and client actors (called by Domain)
-  /// Called from the relay's delivery upcall: stage a frame for the link.
-  void forward_sample(const Sample& s);
-  sim::Co<> relay_uplink_actor();  // relay: client ring -> topic publish
-  /// Drives both link endpoints' progress: relay-side shipping of staged
-  /// frames and client-side consumption (one actor models the two
-  /// cooperating link threads; their costs are charged per message).
-  sim::Co<> client_downlink_actor();
+  ExternalClient(Domain& domain, ClientMux& mux, net::NodeId client_node,
+                 ClientLinkModel link);
 
   Domain& domain_;
-  std::uint8_t topic_;
+  ClientMux& mux_;
   net::NodeId client_node_;
-  net::NodeId relay_node_;
   ClientLinkModel link_;
-
-  // Mailbox rings: index 0 = client->relay, index 1 = relay->client. Both
-  // instances of each ring exist (local copies at both endpoints).
-  std::unique_ptr<smc::RingGroup> up_at_client_, up_at_relay_;
-  std::unique_ptr<smc::RingGroup> down_at_relay_, down_at_client_;
-  std::int64_t up_sent_ = 0;       // client side: messages queued uplink
-  std::int64_t up_consumed_ = 0;   // relay side: messages relayed
-  std::int64_t down_sent_ = 0;     // relay side: samples forwarded
-  std::int64_t down_consumed_ = 0; // client side: samples upcalled
-
-  std::deque<std::vector<std::byte>> relay_out_;  // staged downlink frames
-
-  SampleListener listener_;
-  std::uint64_t received_ = 0;
-  std::uint64_t published_ = 0;
-  bool stopped_ = false;
+  Session* session_;
+  Subscription sub_;
 };
 
 }  // namespace spindle::dds

@@ -18,6 +18,13 @@ const SubgroupStats* ClusterStats::subgroup(std::uint32_t id) const {
   return nullptr;
 }
 
+const RelayTierStats* ClusterStats::relay(std::uint32_t relay_node) const {
+  for (const RelayTierStats& r : relays) {
+    if (r.relay_node == relay_node) return &r;
+  }
+  return nullptr;
+}
+
 void ClusterStats::finalize() {
   total = ProtocolCounters{};
   subgroups.clear();

@@ -38,12 +38,43 @@ struct SubgroupStats {
 };
 
 /// One node's consistent counter snapshot: protocol counters with the NIC
-/// statistics and lock-wait totals already folded in, plus the per-subgroup
+/// statistics and lock-wait totals folded in, plus the per-subgroup
 /// drill-down.
 struct NodeStats {
   std::uint32_t node = 0;
   ProtocolCounters counters;
   std::vector<SubgroupStats> subgroups;
+};
+
+/// Admission/occupancy counters of one front-tier relay (a dds::ClientMux):
+/// the per-relay credit pool, watermark shedding, and session lifecycle,
+/// surfaced through cluster.stats() next to the protocol counters.
+struct RelayTierStats {
+  std::uint32_t relay_node = 0;    // core member hosting the mux
+  std::uint32_t gateway_node = 0;  // fabric node aggregating the sessions
+  std::uint32_t topic = 0;
+
+  // Session lifecycle.
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t sessions_shed = 0;  // connect() rejected (session cap)
+  std::uint64_t sessions_live = 0;
+
+  // Request admission (credit pool + watermark).
+  std::uint64_t requests_admitted = 0;   // credit granted (requests+publishes)
+  std::uint64_t requests_shed = 0;       // Busy at the credit watermark
+  std::uint64_t replies_completed = 0;   // replies routed to a waiting session
+  std::uint64_t late_replies = 0;        // reply arrived after cancel/close
+  std::uint64_t requests_cancelled = 0;  // completed as cancelled at teardown
+  std::uint64_t disconnects = 0;         // requests completed as disconnected
+
+  // Occupancy, point-in-time and peak.
+  std::uint32_t credits_configured = 0;
+  std::uint32_t credits_available = 0;
+  std::uint32_t credit_waiters = 0;       // requests parked below watermark
+  std::uint32_t peak_credit_waiters = 0;
+  std::size_t peak_uplink_queue = 0;      // staged frames, gateway -> relay
+  std::size_t peak_downlink_queue = 0;    // staged frames, relay -> gateway
 };
 
 /// A merged, point-in-time view of a whole cluster — the result of
@@ -53,9 +84,13 @@ struct ClusterStats {
   ProtocolCounters total;
   std::vector<NodeStats> nodes;
   std::vector<SubgroupStats> subgroups;  // merged over nodes, by subgroup id
+  std::vector<RelayTierStats> relays;    // front-tier muxes, creation order
 
   const NodeStats* node(std::uint32_t id) const;
   const SubgroupStats* subgroup(std::uint32_t id) const;
+  /// The front-tier stats of the mux relaying through `relay_node` (first
+  /// match in creation order), or null.
+  const RelayTierStats* relay(std::uint32_t relay_node) const;
 
   /// Fold `nodes` into `total` and the merged `subgroups` list. Called by
   /// Registry::snapshot() after the collectors run.

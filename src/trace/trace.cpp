@@ -42,6 +42,16 @@ const char* to_string(Stage s) {
       return "sched_service";
     case Stage::recover:
       return "recover";
+    case Stage::session_open:
+      return "session_open";
+    case Stage::session_close:
+      return "session_close";
+    case Stage::rpc_request:
+      return "rpc_request";
+    case Stage::rpc_reply:
+      return "rpc_reply";
+    case Stage::admission_shed:
+      return "admission_shed";
   }
   return "?";
 }

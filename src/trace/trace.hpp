@@ -31,9 +31,18 @@ enum class Stage : std::uint8_t {
   sched_service,   // DRR scheduler serviced a group (arg = sst::ServiceReason,
                    // msg_index = post-debit deficit)
   recover,         // node rejoined from its durable log (arg = new epoch)
+  session_open,    // front tier: client session admitted (arg = session id)
+  session_close,   // front tier: session closed/cancelled/disconnected
+                   // (arg = session id, msg_index = in-flight at close)
+  rpc_request,     // front tier: request admitted at the gateway
+                   // (arg = correlation id)
+  rpc_reply,       // front tier: reply completed a request
+                   // (dur = end-to-end RTT, arg = correlation id)
+  admission_shed,  // front tier: request or session shed with Busy
+                   // (arg = credit waiters at the decision)
 };
 
-inline constexpr std::size_t kNumStages = 18;
+inline constexpr std::size_t kNumStages = 23;
 const char* to_string(Stage s);
 
 inline constexpr std::uint32_t kNoSubgroup = UINT32_MAX;

@@ -176,6 +176,43 @@ TEST(CoreEdge, CreateSubgroupValidatesArguments) {
   cluster.shutdown();
 }
 
+TEST(CoreEdge, StartConsolidatesSetupAndRefusesLateMutation) {
+  ClusterConfig cc;
+  cc.nodes = 3;
+  Cluster cluster(cc);
+  ProtocolOptions opts;
+  cluster.create_subgroup({"ok", {0, 1}, {0}, opts});
+  // Every pre-start mutator is validated against the same gate: after
+  // start() both fail with errors that say what to do instead.
+  cluster.start();
+  try {
+    cluster.create_subgroup({"late", {0, 1}, {0}, opts});
+    FAIL() << "create_subgroup after start() must throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("late"), std::string::npos) << what;
+    EXPECT_NE(what.find("before start()"), std::string::npos) << what;
+  }
+  EXPECT_THROW(
+      cluster.set_store_provider([](net::NodeId, SubgroupId) {
+        return static_cast<store::VersionedLog*>(nullptr);
+      }),
+      std::logic_error);
+}
+
+TEST(CoreEdge, StartNamesTheNodeWhenAStoreProviderReturnsNull) {
+  ClusterConfig cc;
+  cc.nodes = 2;
+  Cluster cluster(cc);
+  ProtocolOptions opts;
+  opts.persistent = true;
+  cluster.create_subgroup({"durable", {0, 1}, {0}, opts});
+  cluster.set_store_provider([](net::NodeId, SubgroupId) {
+    return static_cast<store::VersionedLog*>(nullptr);
+  });
+  EXPECT_THROW(cluster.start(), std::runtime_error);
+}
+
 TEST(CoreEdge, CrashedNodeStopsDeliveringButOthersContinueReceiving) {
   // Without the membership service, a crash freezes *stability* (delivery
   // needs everyone's acks) but reception continues — exactly the situation

@@ -1,12 +1,16 @@
 // External DDS clients (§4.6): publish/subscribe from outside the group
-// through a relay member, with the extra relaying step.
+// through a relay member, with the extra relaying step. Exercises the
+// Session front-tier API; one test pins the deprecated ExternalClient shim
+// until it is removed (see CHANGES.md).
 
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <vector>
 
+#include "dds/client_mux.hpp"
 #include "dds/external.hpp"
+#include "dds/session.hpp"
 
 namespace spindle::dds {
 namespace {
@@ -22,13 +26,20 @@ std::uint64_t tag_of(std::span<const std::byte> d) {
   return t;
 }
 
+sim::Co<> publish_n(Session* s, std::uint64_t base, std::uint64_t count,
+                    std::size_t bytes = 128) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    co_await s->publish(sample_bytes(base + i, bytes));
+  }
+}
+
 struct ExternalFixture : ::testing::Test {
   // Nodes 0..2: topic members (0 publishes+relays, 1..2 subscribe);
-  // node 3: the external client's machine.
+  // node 3: the gateway carrying the external session.
   std::unique_ptr<Domain> domain;
-  ExternalClient* client = nullptr;
+  Session* session = nullptr;
 
-  void make(ClientLinkModel link = {}) {
+  void make(SessionLink link = {}, MuxConfig mc = {}) {
     core::ClusterConfig cc;
     cc.nodes = 4;
     domain = std::make_unique<Domain>(cc);
@@ -39,7 +50,9 @@ struct ExternalFixture : ::testing::Test {
     tc.publishers = {0};
     tc.subscribers = {0, 1, 2};
     domain->create_topic(tc);
-    client = &domain->create_external_client(1, 3, 0, link);
+    ClientMux& mux = domain->create_client_mux(1, 3, 0, std::move(mc));
+    session = mux.connect(link);
+    ASSERT_NE(session, nullptr);
     domain->start();
   }
 };
@@ -50,11 +63,7 @@ TEST_F(ExternalFixture, ClientPublishesThroughRelayIntoTotalOrder) {
   domain->reader(1, 1).set_listener(
       [&](const Sample& s) { at_sub1.push_back(tag_of(s.data)); });
 
-  domain->engine().spawn([](ExternalClient* c) -> sim::Co<> {
-    for (std::uint64_t i = 0; i < 20; ++i) {
-      co_await c->publish_bytes(sample_bytes(900 + i));
-    }
-  }(client));
+  domain->engine().spawn(publish_n(session, 900, 20));
 
   ASSERT_TRUE(domain->engine().run_until(
       [&] { return at_sub1.size() >= 20; }, sim::seconds(5)));
@@ -62,13 +71,13 @@ TEST_F(ExternalFixture, ClientPublishesThroughRelayIntoTotalOrder) {
   for (std::uint64_t i = 0; i < 20; ++i) {
     EXPECT_EQ(at_sub1[i], 900 + i);
   }
-  EXPECT_EQ(client->samples_published(), 20u);
+  EXPECT_EQ(session->publishes_sent(), 20u);
 }
 
 TEST_F(ExternalFixture, ClientReceivesEveryTopicSampleViaRelay) {
   make();
   std::vector<std::uint64_t> got;
-  client->set_listener(
+  Subscription sub = session->subscribe(
       [&](const Sample& s) { got.push_back(tag_of(s.data)); });
 
   domain->engine().spawn([](Domain* d) -> sim::Co<> {
@@ -83,7 +92,7 @@ TEST_F(ExternalFixture, ClientReceivesEveryTopicSampleViaRelay) {
   for (std::uint64_t i = 0; i < 25; ++i) {
     EXPECT_EQ(got[i], 100 + i);
   }
-  EXPECT_EQ(client->samples_received(), 25u);
+  EXPECT_EQ(session->samples_received(), 25u);
 }
 
 TEST_F(ExternalFixture, RoundTripEchoPreservesOrderAndContent) {
@@ -91,13 +100,9 @@ TEST_F(ExternalFixture, RoundTripEchoPreservesOrderAndContent) {
   // The client hears its own samples back (relayed into the group, then
   // forwarded down), interleaved in the group's total order.
   std::vector<std::uint64_t> echoed;
-  client->set_listener(
+  Subscription sub = session->subscribe(
       [&](const Sample& s) { echoed.push_back(tag_of(s.data)); });
-  domain->engine().spawn([](ExternalClient* c) -> sim::Co<> {
-    for (std::uint64_t i = 0; i < 15; ++i) {
-      co_await c->publish_bytes(sample_bytes(7000 + i));
-    }
-  }(client));
+  domain->engine().spawn(publish_n(session, 7000, 15));
   ASSERT_TRUE(domain->engine().run_until(
       [&] { return echoed.size() >= 15; }, sim::seconds(5)));
   for (std::uint64_t i = 0; i < 15; ++i) {
@@ -106,24 +111,59 @@ TEST_F(ExternalFixture, RoundTripEchoPreservesOrderAndContent) {
 }
 
 TEST_F(ExternalFixture, SlowTcpLinkStillDeliversEverything) {
-  ClientLinkModel slow;
+  SessionLink slow;
   slow.per_message_overhead = sim::micros(15);  // WAN-ish TCP
-  slow.window = 8;
-  make(slow);
+  MuxConfig mc;
+  mc.ring_window = 8;
+  mc.credits = 4;
+  mc.per_message_overhead = sim::micros(15);
+  make(slow, std::move(mc));
   std::vector<std::uint64_t> got;
-  client->set_listener(
+  Subscription sub = session->subscribe(
       [&](const Sample& s) { got.push_back(tag_of(s.data)); });
-  domain->engine().spawn([](Domain* d, ExternalClient* c) -> sim::Co<> {
+  domain->engine().spawn([](Domain* d, Session* c) -> sim::Co<> {
     for (std::uint64_t i = 0; i < 30; ++i) {
-      co_await c->publish_bytes(sample_bytes(1 + i));
+      co_await c->publish(sample_bytes(1 + i));
       if (i % 3 == 0) {
         co_await d->writer(0, 1).publish_bytes(sample_bytes(500 + i));
       }
     }
-  }(domain.get(), client));
+  }(domain.get(), session));
   ASSERT_TRUE(domain->engine().run_until([&] { return got.size() >= 40; },
                                          sim::seconds(10)));
-  EXPECT_EQ(client->samples_received(), 40u);
+  EXPECT_EQ(session->samples_received(), 40u);
+}
+
+// The deprecated ExternalClient shim (one release, see CHANGES.md): the old
+// publish_bytes/set_listener surface must keep behaving over the mux.
+TEST(ExternalShim, DeprecatedSurfaceStillWorks) {
+  core::ClusterConfig cc;
+  cc.nodes = 4;
+  Domain domain(cc);
+  TopicConfig tc;
+  tc.name = "shim";
+  tc.topic_id = 1;
+  tc.max_sample_size = 512;
+  tc.publishers = {0};
+  tc.subscribers = {0, 1};
+  domain.create_topic(tc);
+  ExternalClient& client = domain.create_external_client(1, 3, 0, {});
+  domain.start();
+
+  std::uint64_t heard = 0;
+  client.set_listener([&](const Sample&) { ++heard; });
+  domain.engine().spawn([](ExternalClient* c) -> sim::Co<> {
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      co_await c->publish_bytes(sample_bytes(i));
+    }
+  }(&client));
+  ASSERT_TRUE(domain.engine().run_until([&] { return heard >= 10; },
+                                        sim::seconds(5)));
+  EXPECT_EQ(client.samples_published(), 10u);
+  EXPECT_EQ(client.samples_received(), 10u);
+  EXPECT_TRUE(client.session().connected());  // the migration escape hatch
+  client.stop();
+  EXPECT_FALSE(client.session().connected());
 }
 
 TEST(ExternalValidation, RejectsBadConfigurations) {
