@@ -156,9 +156,7 @@ void ClientMux::return_credit() noexcept {
   while (credits_avail_ > 0 && !credit_queue_.empty()) {
     CreditWaiter* w = credit_queue_.front();
     credit_queue_.pop_front();
-    if (w->abandoned) continue;
     --credits_avail_;
-    ++tier_.requests_admitted;
     w->granted = true;
   }
   credit_signal_->signal();
@@ -204,15 +202,19 @@ sim::Co<ReplyStatus> ClientMux::admit(Session& s) {
             ? ReplyStatus::disconnected
             : ReplyStatus::cancelled;
       }
+      ++tier_.requests_admitted;
       co_return ReplyStatus::ok;
     }
+    // The waiter lives in this coroutine frame: it must leave the queue
+    // before the frame dies, or a later return_credit() pops a dangling
+    // pointer.
     if (stopped_ || disconnected_) {
-      waiter.abandoned = true;
+      std::erase(credit_queue_, &waiter);
       --credit_waiters_;
       co_return ReplyStatus::disconnected;
     }
     if (s.state_ != Session::State::open) {
-      waiter.abandoned = true;
+      std::erase(credit_queue_, &waiter);
       --credit_waiters_;
       co_return s.state_ == Session::State::disconnected
           ? ReplyStatus::disconnected
@@ -228,7 +230,9 @@ void ClientMux::stage_uplink(std::uint32_t session, std::uint64_t corr,
   auto& frame = uplink_staged_.back();
   const MuxFrameHeader h{session, kind, corr, -1, 0, 0};
   std::memcpy(frame.data(), &h, sizeof h);
-  std::memcpy(frame.data() + sizeof h, body.data(), body.size());
+  if (!body.empty()) {
+    std::memcpy(frame.data() + sizeof h, body.data(), body.size());
+  }
   if (uplink_staged_.size() > tier_.peak_uplink_queue) {
     tier_.peak_uplink_queue = uplink_staged_.size();
   }
@@ -459,7 +463,9 @@ sim::Co<> ClientMux::relay_actor() {
         sg, static_cast<std::uint32_t>(sizeof env + body.size()),
         [&env, body](std::span<std::byte> buf) {
           std::memcpy(buf.data(), &env, sizeof env);
-          std::memcpy(buf.data() + sizeof env, body.data(), body.size());
+          if (!body.empty()) {
+            std::memcpy(buf.data() + sizeof env, body.data(), body.size());
+          }
         },
         kRpcEnvelopeFlag);
     ++up_consumed_;
@@ -492,7 +498,9 @@ void ClientMux::on_topic_delivery(const Sample& sample,
                              static_cast<std::uint32_t>(sample.publisher),
                              static_cast<std::uint32_t>(ReplyStatus::ok)};
       std::memcpy(frame.data(), &h, sizeof h);
-      std::memcpy(frame.data() + sizeof h, reply.data(), reply.size());
+      if (!reply.empty()) {
+        std::memcpy(frame.data() + sizeof h, reply.data(), reply.size());
+      }
       staged = true;
     }
   }
@@ -505,8 +513,10 @@ void ClientMux::on_topic_delivery(const Sample& sample,
     const MuxFrameHeader h{s.id_, kKindSample, 0, sample.sequence,
                            static_cast<std::uint32_t>(sample.publisher), 0};
     std::memcpy(frame.data(), &h, sizeof h);
-    std::memcpy(frame.data() + sizeof h, sample.data.data(),
-                sample.data.size());
+    if (!sample.data.empty()) {
+      std::memcpy(frame.data() + sizeof h, sample.data.data(),
+                  sample.data.size());
+    }
     staged = true;
   }
   if (staged) {

@@ -150,9 +150,11 @@ class ClientMux {
   // head), so an accepted request's admission wait is bounded by the
   // watermark times the per-credit service time — overload inflates the
   // tail to that bound and no further.
+  // A waiter lives in its admit() coroutine frame; any entry still in
+  // credit_queue_ is a live frame — a waiter that gives up (cancel,
+  // disconnect) erases itself from the queue before its frame dies.
   struct CreditWaiter {
-    bool granted = false;    // a returned credit was consumed on our behalf
-    bool abandoned = false;  // waiter left (cancel/disconnect); skip it
+    bool granted = false;  // a returned credit was consumed on our behalf
   };
   std::uint32_t credits_avail_;
   std::uint32_t credit_waiters_ = 0;

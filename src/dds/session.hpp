@@ -49,13 +49,15 @@ struct SessionLink {
 class Subscription {
  public:
   Subscription() = default;
-  Subscription(Subscription&& o) noexcept : session_(o.session_) {
+  Subscription(Subscription&& o) noexcept
+      : session_(o.session_), gen_(o.gen_) {
     o.session_ = nullptr;
   }
   Subscription& operator=(Subscription&& o) noexcept {
     if (this != &o) {
       cancel();
       session_ = o.session_;
+      gen_ = o.gen_;
       o.session_ = nullptr;
     }
     return *this;
@@ -67,8 +69,11 @@ class Subscription {
 
  private:
   friend class Session;
-  explicit Subscription(Session* s) : session_(s) {}
+  Subscription(Session* s, std::uint64_t gen) : session_(s), gen_(gen) {}
   Session* session_ = nullptr;
+  // Which subscribe() call this handle came from: a handle made stale by a
+  // later subscribe() must not cancel the listener that superseded it.
+  std::uint64_t gen_ = 0;
 };
 
 /// One multiplexed external-client session: a lightweight handle hanging
@@ -164,6 +169,7 @@ class Session {
   std::map<std::uint64_t, PendingRequest*> pending_;  // corr -> live request
   SampleListener listener_;
   bool subscribed_ = false;
+  std::uint64_t sub_gen_ = 0;  // bumped by every subscribe()
 
   std::uint64_t requests_sent_ = 0;
   std::uint64_t replies_ok_ = 0;
@@ -176,7 +182,7 @@ class Session {
 
 inline void Subscription::cancel() noexcept {
   if (session_ != nullptr) {
-    session_->unsubscribe();
+    if (session_->sub_gen_ == gen_) session_->unsubscribe();
     session_ = nullptr;
   }
 }
@@ -184,7 +190,7 @@ inline void Subscription::cancel() noexcept {
 inline Subscription Session::subscribe(SampleListener listener) {
   listener_ = std::move(listener);
   subscribed_ = true;
-  return Subscription(this);
+  return Subscription(this, ++sub_gen_);
 }
 
 }  // namespace spindle::dds

@@ -307,6 +307,118 @@ TEST_F(MuxFixture, CancelResolvesInFlightNowAndCountsLateReplies) {
   EXPECT_EQ(stats.relay(0)->requests_cancelled, kInFlight);
 }
 
+TEST_F(MuxFixture, CancelWhileParkedForCreditLeavesQueueIntact) {
+  MuxConfig mc;
+  mc.credits = 1;
+  // Fast waiter polls: the cancelled waiters' coroutine frames die long
+  // before the credit comes back, so a stale queue entry would be popped
+  // dangling (the regression this guards against, caught under ASan).
+  mc.per_message_overhead = 100;
+  mc.admit_watermark = 8;
+  make(std::move(mc));
+  Session* a = mux->connect();
+  Session* b = mux->connect();
+
+  Reply ra;
+  bool a_done = false;
+  domain->engine().spawn([](Session* sess, Reply* out,
+                            bool* flag) -> sim::Co<> {
+    *out = co_await sess->request(bytes_of(1));
+    *flag = true;
+  }(a, &ra, &a_done));
+  ASSERT_TRUE(run_until([&] { return mux->credits_available() == 0; }));
+
+  // Park three requests of b behind the lone outstanding credit, then cut
+  // the session while they wait.
+  std::uint64_t b_done = 0, b_cancelled = 0;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    domain->engine().spawn([](Session* sess, std::uint64_t tag,
+                              std::uint64_t* d, std::uint64_t* c)
+                               -> sim::Co<> {
+      const Reply r = co_await sess->request(bytes_of(tag));
+      ++*d;
+      if (r.status == ReplyStatus::cancelled) ++*c;
+    }(b, 10 + i, &b_done, &b_cancelled));
+  }
+  ASSERT_TRUE(run_until([&] { return mux->credit_waiters() == 3; }));
+  b->cancel();
+  ASSERT_TRUE(run_until([&] { return b_done == 3; }));
+  EXPECT_EQ(b_cancelled, 3u);
+
+  // a's reply returns the credit; return_credit walks the (now empty)
+  // queue, the pool refills, and a fresh request is admitted normally.
+  ASSERT_TRUE(run_until([&] { return a_done; }));
+  EXPECT_EQ(ra.status, ReplyStatus::ok);
+  ASSERT_TRUE(run_until([&] { return mux->credits_available() == 1; }));
+  EXPECT_EQ(mux->credit_waiters(), 0u);
+
+  Reply r2;
+  bool done2 = false;
+  domain->engine().spawn([](Session* sess, Reply* out,
+                            bool* flag) -> sim::Co<> {
+    *out = co_await sess->request(bytes_of(2));
+    *flag = true;
+  }(a, &r2, &done2));
+  ASSERT_TRUE(run_until([&] { return done2; }));
+  EXPECT_EQ(r2.status, ReplyStatus::ok);
+
+  // Admission is counted per request actually sent: a's two requests only
+  // (the cancelled waiters never consumed an admission).
+  const auto stats = domain->cluster().stats();
+  EXPECT_EQ(stats.relay(0)->requests_admitted, 2u);
+}
+
+TEST_F(MuxFixture, ResubscribeSupersedesAndStaleHandleIsInert) {
+  make();
+  Session* s = mux->connect();
+  std::vector<std::uint64_t> at_old, at_new;
+  Subscription first = s->subscribe(
+      [&](const Sample& smp) { at_old.push_back(tag_of(smp.data)); });
+  Subscription second = s->subscribe(
+      [&](const Sample& smp) { at_new.push_back(tag_of(smp.data)); });
+  // Destroying the superseded handle must not cancel the live listener.
+  first.cancel();
+
+  domain->engine().spawn([](Domain* d) -> sim::Co<> {
+    co_await d->writer(1, 1).publish_bytes(bytes_of(555));
+  }(domain.get()));
+  ASSERT_TRUE(run_until([&] { return at_new.size() >= 1; }));
+  EXPECT_EQ(at_new[0], 555u);
+  EXPECT_TRUE(at_old.empty());
+
+  // The live handle still owns the subscription and can cancel it.
+  second.cancel();
+  domain->engine().spawn([](Domain* d) -> sim::Co<> {
+    co_await d->writer(1, 1).publish_bytes(bytes_of(556));
+  }(domain.get()));
+  ASSERT_TRUE(run_until(
+      [&] { return domain->reader(2, 1).samples_received() >= 2; }));
+  EXPECT_EQ(at_new.size(), 1u);
+}
+
+TEST_F(MuxFixture, ZeroLengthRequestAndPublishComplete) {
+  make();
+  Session* s = mux->connect();
+  std::size_t member_samples = 0;
+  domain->reader(2, 1).set_listener(
+      [&](const Sample&) { ++member_samples; });
+
+  Reply reply;
+  ReplyStatus pub = ReplyStatus::busy;
+  bool done = false;
+  domain->engine().spawn([](Session* sess, Reply* out, ReplyStatus* ps,
+                            bool* flag) -> sim::Co<> {
+    *out = co_await sess->request({});
+    *ps = co_await sess->publish({});
+    *flag = true;
+  }(s, &reply, &pub, &done));
+  ASSERT_TRUE(run_until([&] { return done && member_samples >= 2; }));
+  EXPECT_EQ(reply.status, ReplyStatus::ok);
+  EXPECT_TRUE(reply.data.empty());  // echo of the empty request
+  EXPECT_GE(reply.seq, 0);
+  EXPECT_EQ(pub, ReplyStatus::ok);
+}
+
 TEST_F(MuxFixture, RelayCrashDisconnectsEverySessionWithoutHanging) {
   make();
   Session* a = mux->connect();
