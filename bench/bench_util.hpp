@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -58,16 +59,21 @@ inline std::string check_completed(const ExperimentResult& r) {
 /// Shape:
 ///   { "bench": "<name>", "scale": <SPINDLE_BENCH_SCALE>,
 ///     "provenance": { "seed": ..., "messages_per_sender": ...,
+///                     "sim_threads": ..., "hardware_concurrency": ...,
 ///                     "env": { "SPINDLE_...": "...", ... } },
 ///     "runs": [ { "label": "...", "events_per_sec": ..., "wall_seconds":
 ///                 ..., "makespan_ns": ..., "msgs_delivered": ...,
-///                 "engine_steps": ..., "throughput_gbps": ... }, ... ],
+///                 "engine_steps": ..., "sim_workers": ...,
+///                 "throughput_gbps": ... }, ... ],
 ///     "metrics": { "<key>": <number>, ... } }
 ///
 /// The provenance block is what makes a checked-in report reproducible: the
-/// base RNG seed and per-sender message count the bench ran with, plus every
-/// SPINDLE_* environment override in effect — so a diff between two reports
-/// can be traced to a code change rather than a forgotten env var.
+/// base RNG seed and per-sender message count the bench ran with, the
+/// simulation worker-thread count in effect (SPINDLE_SIM_THREADS resolution)
+/// next to the machine's hardware concurrency (so a wall-clock diff between
+/// reports from 1-core CI and a many-core box is attributable), plus every
+/// SPINDLE_* environment override — so a diff between two reports can be
+/// traced to a code change rather than a forgotten env var.
 class BenchReport {
  public:
   explicit BenchReport(std::string name) : name_(std::move(name)) {}
@@ -90,6 +96,7 @@ class BenchReport {
     run.wall_seconds = r.wall_seconds;
     run.makespan_ns = static_cast<std::uint64_t>(r.makespan);
     run.msgs_delivered = r.stats.total.messages_delivered;
+    run.sim_workers = r.sim_workers;
     run.throughput_gbps = r.throughput_gbps;
     runs_.push_back(std::move(run));
   }
@@ -103,6 +110,7 @@ class BenchReport {
     run.wall_seconds = a.wall_seconds;
     run.makespan_ns = static_cast<std::uint64_t>(a.last.makespan);
     run.msgs_delivered = a.last.stats.total.messages_delivered;
+    run.sim_workers = a.last.sim_workers;
     run.throughput_gbps = a.mean_gbps;
     runs_.push_back(std::move(run));
   }
@@ -130,6 +138,12 @@ class BenchReport {
                    static_cast<unsigned long long>(seed_),
                    static_cast<unsigned long long>(messages_per_sender_));
     }
+    std::fprintf(f,
+                 "\n    \"sim_threads\": %llu,"
+                 "\n    \"hardware_concurrency\": %u,",
+                 static_cast<unsigned long long>(
+                     workload::sim_threads_from_env()),
+                 std::thread::hardware_concurrency());
     std::fprintf(f, "\n    \"env\": {");
     bool first_env = true;
     for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
@@ -154,11 +168,12 @@ class BenchReport {
                    "%s\n    { \"label\": \"%s\", \"events_per_sec\": %.6g, "
                    "\"wall_seconds\": %.6g, \"makespan_ns\": %llu, "
                    "\"msgs_delivered\": %llu, \"engine_steps\": %llu, "
-                   "\"throughput_gbps\": %.6g }",
+                   "\"sim_workers\": %llu, \"throughput_gbps\": %.6g }",
                    i ? "," : "", escape(r.label).c_str(), eps, r.wall_seconds,
                    static_cast<unsigned long long>(r.makespan_ns),
                    static_cast<unsigned long long>(r.msgs_delivered),
                    static_cast<unsigned long long>(r.engine_steps),
+                   static_cast<unsigned long long>(r.sim_workers),
                    r.throughput_gbps);
     }
     std::fprintf(f, "\n  ],\n  \"metrics\": {");
@@ -179,6 +194,7 @@ class BenchReport {
     double wall_seconds = 0;
     std::uint64_t makespan_ns = 0;
     std::uint64_t msgs_delivered = 0;
+    std::uint64_t sim_workers = 1;
     double throughput_gbps = 0;
   };
 

@@ -19,19 +19,46 @@ void ClusterConfig::validate() const {
         "ClusterConfig: drr needs scan_interval >= 1ns (the cold-subgroup "
         "probe bound)");
   }
+  if (sim_threads == 0) {
+    throw std::invalid_argument(
+        "ClusterConfig: sim_threads must be >= 1 (1 = serial engine)");
+  }
 }
 
 Cluster::Cluster(ClusterConfig cfg)
     : cfg_(cfg),
-      owned_engine_(std::make_unique<sim::Engine>()),
-      owned_fabric_(std::make_unique<net::Fabric>(*owned_engine_, cfg.timing,
-                                                  cfg.nodes)),
-      engine_(owned_engine_.get()),
+      parallel_(cfg.nodes > 0 && std::min(cfg.sim_threads, cfg.nodes) > 1
+                    ? std::make_unique<sim::ParallelEngine>(
+                          std::min(cfg.sim_threads, cfg.nodes),
+                          cfg.timing.min_remote_delay())
+                    : nullptr),
+      owned_engine_(parallel_ ? nullptr : std::make_unique<sim::Engine>()),
+      owned_fabric_(std::make_unique<net::Fabric>(
+          parallel_ ? parallel_->worker(0) : *owned_engine_, cfg.timing,
+          cfg.nodes)),
+      engine_(parallel_ ? &parallel_->worker(0) : owned_engine_.get()),
       fabric_(owned_fabric_.get()),
       owned_tracer_(std::make_unique<trace::Tracer>(cfg.trace, cfg.nodes)),
       tracer_(owned_tracer_.get()),
       rng_(cfg.seed) {
   cfg_.validate();
+  if (parallel_) {
+    // Partition-aware fabric routing: per-node engines for posts and
+    // doorbells, staged cross-partition channels, and the merge hook that
+    // applies them at every lookahead barrier.
+    std::vector<sim::Engine*> engine_of(cfg.nodes);
+    std::vector<std::uint32_t> part_of(cfg.nodes);
+    for (std::size_t i = 0; i < cfg.nodes; ++i) {
+      part_of[i] =
+          static_cast<std::uint32_t>(partition_of(static_cast<net::NodeId>(i)));
+      engine_of[i] = &parallel_->worker(part_of[i]);
+    }
+    fabric_->configure_partitions(std::move(engine_of), std::move(part_of),
+                                  parallel_->workers(),
+                                  cfg.seed ^ 0xfab51cULL);
+    parallel_->set_merge_hook(
+        [this](std::size_t p) { fabric_->merge_arrivals(p); });
+  }
   for (std::size_t i = 0; i < cfg.nodes; ++i) {
     members_.push_back(static_cast<net::NodeId>(i));
   }
@@ -149,7 +176,7 @@ void Cluster::start() {
 
   for (SubgroupId sg = 0; sg < subgroup_configs_.size(); ++sg) {
     const SubgroupConfig& cfg = subgroup_configs_[sg];
-    oracle_.add_subgroup(cfg.senders.size());
+    oracle_.add_subgroup(cfg.senders.size(), cfg.opts.window_size);
 
     std::vector<smc::RingGroup*> rings;
     for (net::NodeId member : cfg.members) {
@@ -161,7 +188,7 @@ void Cluster::start() {
       s.f_delivered = fields[sg].delivered;
       s.f_persisted = fields[sg].persisted;
       if (cfg.opts.persistent) {
-        s.persist_signal = std::make_unique<sim::Signal>(*engine_);
+        s.persist_signal = std::make_unique<sim::Signal>(engine_for(member));
         if (store_provider_) {
           s.dlog = store_provider_(member, sg);
           if (s.dlog == nullptr) {
@@ -258,12 +285,20 @@ void Cluster::shutdown() {
   for (net::NodeId id : members_) nodes_[id]->stop();
   // Drain only when we own the engine; epoch clusters inside a managed
   // group share the engine with the membership service, which never quiesces.
-  if (owned_engine_) {
-    engine_->run();
+  if (owned_engine_ || parallel_) {
+    run();
   }
 }
 
 void Cluster::crash(net::NodeId id) {
+  if (parallel_) {
+    // isolate() flips a flag every partition reads mid-window — there is no
+    // race-free crash story under the parallel engine (and no view layer on
+    // standalone clusters to react to one anyway).
+    throw std::logic_error(
+        "Cluster::crash(): not supported with sim_threads > 1 — crash/view "
+        "experiments run under ManagedGroup, which is serial");
+  }
   fabric_->isolate(id);
   nodes_[id]->stop();
 }

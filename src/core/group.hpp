@@ -9,6 +9,7 @@
 #include "metrics/registry.hpp"
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel.hpp"
 #include "sim/rng.hpp"
 #include "trace/trace.hpp"
 
@@ -28,6 +29,16 @@ struct ClusterConfig {
   /// DRR only: probe period for subgroups demoted onto the scan lane —
   /// the latency bound for a cold subgroup's first message under load.
   sim::Nanos scan_interval = sim::micros(25);
+  /// Simulation worker threads. 1 (default) = the serial engine, unchanged.
+  /// > 1 = conservative-lookahead parallel execution (sim::ParallelEngine):
+  /// nodes are block-partitioned across min(sim_threads, nodes) workers and
+  /// results are byte-identical to serial runs (parallel_engine_test pins
+  /// this against the determinism-lock goldens). Parallel-mode limits:
+  /// crash()/isolate() are unsupported, link-fault multipliers must be
+  /// >= 1, and drive the run through Cluster::run_until/run/run_to rather
+  /// than engine().run_*(). Only standalone clusters parallelize; epoch
+  /// clusters under a ManagedGroup share their engine and stay serial.
+  std::size_t sim_threads = 1;
 
   /// Throws std::invalid_argument with a descriptive message if the
   /// configuration cannot form a cluster.
@@ -94,7 +105,59 @@ class Cluster {
     return id < nodes_.size() && nodes_[id] != nullptr;
   }
   Node& node(net::NodeId id);
+  /// Worker 0's engine in parallel mode (safe for pre-start scheduling at
+  /// t=0 and post-run reads); THE engine in serial mode. Parallel runs must
+  /// use engine_for() for per-node scheduling and the Cluster-level run
+  /// methods below for driving.
   sim::Engine& engine() noexcept { return *engine_; }
+  /// The engine that owns `id`'s events — identical to engine() when
+  /// serial. All node-local scheduling (fault injection, sender actors)
+  /// goes through this.
+  sim::Engine& engine_for(net::NodeId id) noexcept {
+    return parallel_ ? parallel_->worker(partition_of(id)) : *engine_;
+  }
+  /// Static block partition of fabric node ids onto workers.
+  std::size_t partition_of(net::NodeId id) const noexcept {
+    return parallel_ == nullptr
+               ? 0
+               : (static_cast<std::size_t>(id) * parallel_->workers()) /
+                     cfg_.nodes;
+  }
+  /// Worker threads executing this cluster (1 = serial).
+  std::size_t sim_workers() const noexcept {
+    return parallel_ ? parallel_->workers() : 1;
+  }
+
+  // --- engine-mode-agnostic run interface (use these, not engine().run_*,
+  // so the same driver code works serial and parallel) ---
+  bool run_until(const std::function<bool()>& stop_condition,
+                 sim::Nanos max_virtual = 0) {
+    return parallel_ ? parallel_->run_until(stop_condition, max_virtual)
+                     : engine_->run_until(stop_condition, max_virtual);
+  }
+  void run() {
+    if (parallel_) {
+      parallel_->run();
+    } else {
+      engine_->run();
+    }
+  }
+  void run_to(sim::Nanos t) {
+    if (parallel_) {
+      parallel_->run_to(t);
+    } else {
+      engine_->run_to(t);
+    }
+  }
+  /// Virtual now (max over workers in parallel mode — valid between runs).
+  sim::Nanos now() const noexcept {
+    return parallel_ ? parallel_->now() : engine_->now();
+  }
+  /// Events dispatched (summed over workers).
+  std::uint64_t steps() const noexcept {
+    return parallel_ ? parallel_->steps() : engine_->steps();
+  }
+
   net::Fabric& fabric() noexcept { return *fabric_; }
   const ClusterConfig& config() const noexcept { return cfg_; }
   const CpuModel& cpu() const noexcept { return cfg_.cpu; }
@@ -138,7 +201,8 @@ class Cluster {
   void validate_setup() const;
 
   ClusterConfig cfg_;
-  std::unique_ptr<sim::Engine> owned_engine_;
+  std::unique_ptr<sim::ParallelEngine> parallel_;  // sim_threads > 1 only
+  std::unique_ptr<sim::Engine> owned_engine_;      // serial standalone only
   std::unique_ptr<net::Fabric> owned_fabric_;
   sim::Engine* engine_;
   net::Fabric* fabric_;

@@ -22,10 +22,10 @@ void Node::start() {
   assert(!started_);
   started_ = true;
   setup_predicates();
-  cluster_.engine().spawn(preds_->run());
+  engine_.spawn(preds_->run());
   for (auto& s : subgroups_) {
     if (s->cfg.opts.persistent) {
-      cluster_.engine().spawn(persist_logger(*s));
+      engine_.spawn(persist_logger(*s));
     }
   }
 }
@@ -37,7 +37,7 @@ void Node::start() {
 /// round-robin over subgroups, per-iteration overhead/jitter/hiccups, and
 /// the doorbell-backed idle backoff.
 void Node::setup_predicates() {
-  preds_ = std::make_unique<sst::Predicates>(cluster_.engine());
+  preds_ = std::make_unique<sst::Predicates>(engine_);
   const CpuModel& cpu = cluster_.cpu();
 
   sst::Predicates::SchedulerConfig cfg;
@@ -63,7 +63,7 @@ void Node::setup_predicates() {
     cfg.on_service = [this](const sst::Predicates::GroupOptions& g,
                             sst::ServiceReason reason, std::int64_t deficit) {
       cluster_.tracer().record(id_, trace::Stage::sched_service,
-                               cluster_.engine().now(), 0, g.tag,
+                               engine_.now(), 0, g.tag,
                                trace::kNoSender, deficit,
                                static_cast<std::uint64_t>(reason));
     };
@@ -73,7 +73,7 @@ void Node::setup_predicates() {
                                  std::size_t ordinal, sim::Nanos before,
                                  sim::Nanos after) {
     cluster_.tracer().record(id_, trace::Stage::predicate_fire,
-                             cluster_.engine().now() + before, after - before,
+                             engine_.now() + before, after - before,
                              g.tag, trace::kNoSender, -1, ordinal);
   };
   preds_->configure(std::move(cfg));
@@ -98,11 +98,11 @@ void Node::setup_predicates() {
     };
     g.on_fire = [this, &s](sim::Nanos w) {
       cluster_.tracer().record(id_, trace::Stage::predicate,
-                               cluster_.engine().now(), w, s.id);
+                               engine_.now(), w, s.id);
     };
     g.on_post = [this, &s](sim::Nanos post, std::uint64_t arg) {
       cluster_.tracer().record(id_, trace::Stage::rdma_post,
-                               cluster_.engine().now(), post, s.id,
+                               engine_.now(), post, s.id,
                                trace::kNoSender, -1, arg);
     };
     const auto gid = preds_->add_group(std::move(g));
@@ -145,7 +145,7 @@ bool Node::trigger_receive(SubgroupState& s, sst::TriggerContext& ctx) {
   const ProtocolOptions& opts = s.cfg.opts;
   const CpuModel& cpu = cluster_.cpu();
   const auto S = s.num_senders();
-  auto& eng = cluster_.engine();
+  auto& eng = engine_;
   trace::Tracer& tr = cluster_.tracer();
   sim::Nanos& work = ctx.work;
 
@@ -255,7 +255,7 @@ bool Node::trigger_null_send(SubgroupState& s, sst::TriggerContext& ctx) {
   counters_.nulls_sent += sent_nulls;
   ++counters_.null_iterations;
   cluster_.tracer().record(id_, trace::Stage::null_send,
-                           cluster_.engine().now() + ctx.work, 0, s.id,
+                           engine_.now() + ctx.work, 0, s.id,
                            static_cast<std::uint32_t>(s.my_sender_idx), -1,
                            sent_nulls);
   return true;
@@ -280,7 +280,7 @@ bool Node::trigger_send(SubgroupState& s, sst::TriggerContext& ctx) {
   if (app_msgs > 0) {
     counters_.send_batches.add(app_msgs);
     cluster_.tracer().record(id_, trace::Stage::send_batch,
-                             cluster_.engine().now() + work, 0, s.id,
+                             engine_.now() + work, 0, s.id,
                              static_cast<std::uint32_t>(s.my_sender_idx),
                              first, app_msgs);
   }
@@ -299,7 +299,7 @@ bool Node::trigger_deliver(SubgroupState& s, sst::TriggerContext& ctx) {
   const ProtocolOptions& opts = s.cfg.opts;
   const CpuModel& cpu = cluster_.cpu();
   const auto S = s.num_senders();
-  auto& eng = cluster_.engine();
+  auto& eng = engine_;
   trace::Tracer& tr = cluster_.tracer();
   sim::Nanos& work = ctx.work;
   const auto cold = [&](sim::Nanos t) {
@@ -436,7 +436,7 @@ sim::Nanos Node::enqueue_persist(SubgroupState& s, std::int64_t seq,
 }
 
 sim::Co<> Node::persist_logger(SubgroupState& s) {
-  auto& eng = cluster_.engine();
+  auto& eng = engine_;
   const CpuModel& cpu = cluster_.cpu();
   while (!stopped_) {
     if (s.persist_queue.empty()) {
@@ -505,7 +505,7 @@ void Node::force_deliver_through(SubgroupId sg, std::int64_t trim) {
                        t.flags & ~smc::kNullFlag};
       if (s.cfg.opts.persistent) enqueue_persist(s, seq, j, k, d.data);
       cluster_.tracer().record(id_, trace::Stage::deliver,
-                               cluster_.engine().now(), 0, s.id,
+                               engine_.now(), 0, s.id,
                                static_cast<std::uint32_t>(j), k,
                                static_cast<std::uint64_t>(seq));
       if (s.handler) s.handler(d);

@@ -54,8 +54,9 @@ void SubgroupConfig::validate(
 Node::Node(Cluster& cluster, net::NodeId id, sim::Rng rng)
     : cluster_(cluster),
       id_(id),
+      engine_(cluster.engine_for(id)),
       rng_(rng),
-      lock_(std::make_unique<sim::Mutex>(cluster.engine())) {}
+      lock_(std::make_unique<sim::Mutex>(engine_)) {}
 
 Node::~Node() = default;
 
@@ -181,7 +182,7 @@ void Node::stop() {
 sim::Nanos Node::hiccup_penalty(sim::Nanos& next) {
   const CpuModel& cpu = cluster_.cpu();
   if (cpu.hiccup_mean_gap <= 0) return 0;
-  const sim::Nanos now = cluster_.engine().now();
+  const sim::Nanos now = engine_.now();
   if (next == 0) {
     // First draw: desynchronize threads across nodes.
     next = now + static_cast<sim::Nanos>(rng_.below(
@@ -236,7 +237,7 @@ sim::Co<> Node::send(SubgroupId sg, std::uint32_t len,
         std::to_string(s.cfg.opts.max_msg_size));
   }
 
-  auto& eng = cluster_.engine();
+  auto& eng = engine_;
   const CpuModel& cpu = cluster_.cpu();
   trace::Tracer& tr = cluster_.tracer();
 
@@ -326,8 +327,8 @@ std::int64_t Node::declare_inactive(SubgroupId sg, std::int64_t rounds) {
   }
   counters_.nulls_sent += static_cast<std::uint64_t>(claimed);
   if (claimed > 0) {
-    cluster_.tracer().record(id_, trace::Stage::null_send,
-                             cluster_.engine().now(), 0, sg,
+    cluster_.tracer().record(id_, trace::Stage::null_send, engine_.now(), 0,
+                             sg,
                              static_cast<std::uint32_t>(s.my_sender_idx), -1,
                              static_cast<std::uint64_t>(claimed));
   }

@@ -249,6 +249,11 @@ class Node {
   sim::Mutex& lock() noexcept { return *lock_; }
   sst::Sst& sst() { return *sst_; }
 
+  /// The engine this node's events run on — its partition's worker under
+  /// the parallel engine, the cluster engine otherwise. Every trigger,
+  /// actor, and timestamp on this node uses this engine, never a peer's.
+  sim::Engine& engine() noexcept { return engine_; }
+
   /// The per-stage predicate registry this node's data plane runs on
   /// (per-predicate eval/fire/CPU drill-down). Null before start().
   const sst::Predicates* predicates() const noexcept { return preds_.get(); }
@@ -327,6 +332,7 @@ class Node {
 
   Cluster& cluster_;
   net::NodeId id_;
+  sim::Engine& engine_;  // this node's partition worker (see engine())
   sim::Rng rng_;
   std::unique_ptr<sim::Mutex> lock_;
   std::unique_ptr<sst::Predicates> preds_;

@@ -1,7 +1,6 @@
 #include "dds/dds.hpp"
 
 #include "dds/client_mux.hpp"
-#include "dds/external.hpp"
 
 #include <algorithm>
 #include <cstring>
@@ -28,7 +27,6 @@ Domain::Domain(core::ClusterConfig cfg) : cluster_(cfg) {}
 Domain::~Domain() { shutdown(); }
 
 void Domain::shutdown() {
-  for (auto& client : clients_) client->stop();
   for (auto& mux : muxes_) mux->stop();
   cluster_.shutdown();
 }
@@ -175,25 +173,6 @@ DataReader& Domain::reader(net::NodeId node, std::uint8_t topic_id) {
     throw std::invalid_argument("node is not a subscriber of this topic");
   }
   return *it->second;
-}
-
-ExternalClient& Domain::create_external_client(std::uint8_t topic_id,
-                                               net::NodeId client_node,
-                                               net::NodeId relay,
-                                               ClientLinkModel link) {
-  // Deprecated shim: a single-session mux whose gateway is the client's
-  // own machine. The credit pool mirrors the legacy window/2 in-flight
-  // bound; the watermark matches the old ring depth.
-  MuxConfig mc;
-  mc.ring_window = std::max<std::uint32_t>(2, link.window);
-  mc.credits = std::max<std::uint32_t>(1, link.window / 2);
-  mc.admit_watermark = link.window;
-  mc.per_message_overhead = link.per_message_overhead;
-  ClientMux& mux =
-      create_client_mux(topic_id, client_node, relay, std::move(mc));
-  clients_.push_back(std::unique_ptr<ExternalClient>(
-      new ExternalClient(*this, mux, client_node, link)));
-  return *clients_.back();
 }
 
 ClientMux& Domain::create_client_mux(std::uint8_t topic_id,

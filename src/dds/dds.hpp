@@ -74,8 +74,6 @@ class SsdModel {
 };
 
 class Domain;
-class ExternalClient;
-struct ClientLinkModel;
 class ClientMux;
 struct MuxConfig;
 
@@ -129,11 +127,11 @@ class DataReader {
 class Domain {
  public:
   explicit Domain(core::ClusterConfig cfg);
-  ~Domain();  // out of line: ExternalClient is incomplete here
+  ~Domain();  // out of line: ClientMux is incomplete here
 
-  /// Stop external-client actors and the cluster, draining the event
-  /// queue. Idempotent; called by the destructor (members must not be
-  /// destroyed while actor events are still pending).
+  /// Stop front-tier muxes and the cluster, draining the event queue.
+  /// Idempotent; called by the destructor (members must not be destroyed
+  /// while actor events are still pending).
   void shutdown();
 
   /// Declare a topic before start(). Returns the topic id.
@@ -143,14 +141,6 @@ class Domain {
 
   DataWriter writer(net::NodeId node, std::uint8_t topic_id);
   DataReader& reader(net::NodeId node, std::uint8_t topic_id);
-
-  /// Deprecated shim (one release, see CHANGES.md): attach a raw
-  /// ExternalClient (dds/external.hpp) to `topic_id` through `relay`. New
-  /// code should use create_client_mux + Session instead.
-  ExternalClient& create_external_client(std::uint8_t topic_id,
-                                         net::NodeId client_node,
-                                         net::NodeId relay,
-                                         ClientLinkModel link);
 
   /// Attach a front-tier multiplexer (dds/client_mux.hpp) to `topic_id`:
   /// `gateway_node` is a fabric node outside the topic's membership that
@@ -191,10 +181,7 @@ class Domain {
   core::Cluster cluster_;
   SsdModel ssd_;
   std::map<std::uint8_t, TopicState> topics_;
-  // muxes_ before clients_: each ExternalClient shim holds a Subscription
-  // on a Session its mux owns, so the shims must be destroyed first.
   std::vector<std::unique_ptr<ClientMux>> muxes_;
-  std::vector<std::unique_ptr<ExternalClient>> clients_;
   bool started_ = false;
 };
 

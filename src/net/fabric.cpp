@@ -1,5 +1,6 @@
 #include "net/fabric.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -23,6 +24,29 @@ Fabric::Fabric(sim::Engine& engine, const TimingModel& timing,
   doorbells_.reserve(n_nodes);
   for (std::size_t i = 0; i < n_nodes; ++i) {
     doorbells_.push_back(std::make_unique<sim::Signal>(engine));
+  }
+}
+
+void Fabric::configure_partitions(std::vector<sim::Engine*> engine_of_node,
+                                  std::vector<std::uint32_t> part_of_node,
+                                  std::size_t n_partitions,
+                                  std::uint64_t jitter_seed) {
+  assert(engine_of_node.size() == n_ && part_of_node.size() == n_);
+  assert(regions_.empty() && "configure_partitions before register_region");
+  assert(n_partitions >= 1);
+  parallel_ = true;
+  n_parts_ = n_partitions;
+  engine_of_node_ = std::move(engine_of_node);
+  part_of_node_ = std::move(part_of_node);
+  staged_.assign(n_parts_ * n_parts_, {});
+  merge_scratch_.assign(n_parts_, {});
+  jitter_seq_.assign(n_ * n_, 0);
+  jitter_seed_ = jitter_seed;
+  pools_.resize(n_parts_);
+  // Rebind each doorbell to its node's worker engine, so a delivery
+  // signalling it schedules the wake-up on the owning wheel.
+  for (std::size_t i = 0; i < n_; ++i) {
+    doorbells_[i] = std::make_unique<sim::Signal>(*engine_of_node_[i]);
   }
 }
 
@@ -52,7 +76,7 @@ sim::Nanos Fabric::post_write(NodeId src_node, RegionId dst,
   assert(dst_offset + src.size() <= region.mem.size() &&
          "RDMA write out of registered region bounds");
   const NodeId dst_node = region.node;
-  const sim::Nanos now = engine_.now();
+  const sim::Nanos now = node_engine(src_node).now();
 
   // Burst detection: a post at the same instant as the previous one, or
   // starting exactly where the previous post's CPU cost ended, continues a
@@ -86,7 +110,7 @@ sim::Nanos Fabric::post_write(NodeId src_node, RegionId dst,
   // SST push discipline guarantees the source is not mutated in a way that
   // violates monotonicity, but we snapshot for strict post-time semantics).
   // Buffers are pooled, so this is a memcpy, not an allocation.
-  std::vector<std::byte>* payload = acquire_payload(src);
+  std::vector<std::byte>* payload = acquire_payload(part_of(src_node), src);
 
   if (egress_paused_[src_node]) {
     // NIC stall (fault injection): the verb is posted and the CPU cost is
@@ -101,15 +125,39 @@ sim::Nanos Fabric::post_write(NodeId src_node, RegionId dst,
 }
 
 std::vector<std::byte>* Fabric::acquire_payload(
-    std::span<const std::byte> src) {
-  if (payload_free_.empty()) {
-    payload_store_.emplace_back();
-    payload_free_.push_back(&payload_store_.back());
+    std::size_t stripe, std::span<const std::byte> src) {
+  PayloadPool& pool = pools_[stripe];
+  if (pool.free_list.empty()) {
+    pool.store.emplace_back();
+    pool.free_list.push_back(&pool.store.back());
   }
-  std::vector<std::byte>* p = payload_free_.back();
-  payload_free_.pop_back();
+  std::vector<std::byte>* p = pool.free_list.back();
+  pool.free_list.pop_back();
   p->assign(src.begin(), src.end());
   return p;
+}
+
+sim::Nanos Fabric::jitter_draw(NodeId src, NodeId dst, sim::Nanos jitter) {
+  if (!parallel_) {
+    return static_cast<sim::Nanos>(
+        fault_rng_.below(static_cast<std::uint64_t>(jitter)));
+  }
+  // The serial fabric draws jitter from one shared RNG, whose consumption
+  // order depends on global event interleaving — per-worker replay cannot
+  // reproduce it. Parallel mode instead hashes (seed, link, per-link draw
+  // counter): deterministic and worker-count-invariant, but a different
+  // sequence than serial (documented in DESIGN.md; the determinism
+  // cross-check therefore compares jittered runs only across worker
+  // counts, not against serial).
+  const std::size_t link = src * n_ + dst;
+  std::uint64_t x = jitter_seed_ ^ (0x9e3779b97f4a7c15ULL * (link + 1)) ^
+                    (++jitter_seq_[link] * 0xd1342543de82ef95ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<sim::Nanos>(x % static_cast<std::uint64_t>(jitter));
 }
 
 void Fabric::transmit(NodeId src_node, RegionId dst, std::size_t dst_offset,
@@ -126,14 +174,42 @@ void Fabric::transmit(NodeId src_node, RegionId dst, std::size_t dst_offset,
     adder = static_cast<sim::Nanos>(static_cast<double>(adder) *
                                     lf.latency_mult);
   }
-  if (lf.jitter > 0) {
-    adder += static_cast<sim::Nanos>(
-        fault_rng_.below(static_cast<std::uint64_t>(lf.jitter)));
+  if (lf.jitter > 0) adder += jitter_draw(src_node, dst_node, lf.jitter);
+
+  const bool control =
+      region.channel == Channel::control && timing_.separate_control_channel;
+
+  if (parallel_) {
+    // Source half only: egress serialization is per source node, so it is
+    // safe on this worker. The destination half (ingress, FIFO clamp,
+    // scheduling) runs at the next lookahead barrier on the destination's
+    // worker — stamped with this event's birth key so the merge can replay
+    // the serial global post order.
+    sim::Nanos base;
+    if (control) {
+      const sim::Nanos egress_end =
+          std::max(control_egress_free_[src_node], ready) + occ;
+      control_egress_free_[src_node] = egress_end;
+      base = egress_end + adder;
+    } else {
+      const sim::Nanos egress_end =
+          std::max(egress_free_[src_node], ready) + occ;
+      egress_free_[src_node] = egress_end;
+      base = egress_end + adder;
+    }
+    sim::Engine& src_engine = *engine_of_node_[src_node];
+    const std::size_t sp = part_of_node_[src_node];
+    const sim::Engine::ContextKey k = src_engine.context_key();
+    const auto [del_pu, del_s] = src_engine.draw_child_key();
+    staged_[sp * n_parts_ + part_of_node_[dst_node]].push_back(Arrival{
+        dst, static_cast<std::uint32_t>(dst_offset), payload, base, occ,
+        src_node, dst_node, control, src_engine.now(), k.b0, k.b1, k.d, k.pu,
+        k.s, del_pu, del_s});
+    return;
   }
 
   sim::Nanos delivery;
-  if (region.channel == Channel::control &&
-      timing_.separate_control_channel) {
+  if (control) {
     // Control QPs (SST pushes) carry tiny writes and interleave with bulk
     // traffic packet by packet: they serialize only among themselves and
     // are never head-of-line blocked behind an SMC data batch.
@@ -162,28 +238,93 @@ void Fabric::transmit(NodeId src_node, RegionId dst, std::size_t dst_offset,
   engine_.schedule_fn(
       delivery, [this, dst, dst_offset, dst_node, payload] {
         if (isolated_[dst_node]) {  // died while in flight
-          release_payload(payload);
+          release_payload(0, payload);
           return;
         }
         const Region& r = regions_[dst.index];
         std::memcpy(r.mem.data() + dst_offset, payload->data(),
                     payload->size());
         ++stats_[dst_node].writes_delivered;
-        release_payload(payload);
+        release_payload(0, payload);
+        doorbells_[dst_node]->signal();
+      });
+}
+
+void Fabric::merge_arrivals(std::size_t dst_part) {
+  std::vector<Arrival>& scratch = merge_scratch_[dst_part];
+  scratch.clear();
+  for (std::size_t sp = 0; sp < n_parts_; ++sp) {
+    std::vector<Arrival>& cell = staged_[sp * n_parts_ + dst_part];
+    scratch.insert(scratch.end(), cell.begin(), cell.end());
+    cell.clear();
+  }
+  if (scratch.empty()) return;
+  // Serial-order replay: the serial engine applied the destination half of
+  // every transmit at post time, in global event order — which is exactly
+  // the worker-count-invariant event key order (sim/sched.hpp). Sorting by
+  // the posting event's full key, then by the per-post child index,
+  // reproduces it bit for bit.
+  std::sort(scratch.begin(), scratch.end(),
+            [](const Arrival& a, const Arrival& b) {
+              if (a.k_at != b.k_at) return a.k_at < b.k_at;
+              if (a.k_b0 != b.k_b0) return a.k_b0 < b.k_b0;
+              if (a.k_b1 != b.k_b1) return a.k_b1 < b.k_b1;
+              if (a.k_d != b.k_d) return a.k_d < b.k_d;
+              if (a.k_pu != b.k_pu) return a.k_pu < b.k_pu;
+              if (a.k_s != b.k_s) return a.k_s < b.k_s;
+              return a.del_s < b.del_s;
+            });
+  for (const Arrival& a : scratch) deliver_arrival(a);
+  scratch.clear();
+}
+
+void Fabric::deliver_arrival(const Arrival& a) {
+  Region& region = regions_[a.dst.index];
+  sim::Nanos delivery;
+  if (a.control) {
+    delivery = a.base;
+  } else {
+    const sim::Nanos ingress_start =
+        std::max(a.base - a.occ, ingress_free_[a.dst_node]);
+    delivery = ingress_start + a.occ;
+    ingress_free_[a.dst_node] = delivery;
+  }
+  sim::Nanos& fifo = region.fifo[a.src_node];
+  if (delivery <= fifo) delivery = fifo + 1;
+  fifo = delivery;
+
+  const std::size_t dp = part_of_node_[a.dst_node];
+  // Re-stamp exactly what serial schedule_fn would have: scheduled at the
+  // posting time (b0 = k_at) by the posting event (b1 = its b0), into the
+  // future (d = 0), with the identity drawn at post time.
+  engine_of_node_[a.dst_node]->schedule_fn_keyed(
+      delivery, a.k_at, a.k_b0, 0, a.del_pu, a.del_s,
+      [this, dst = a.dst, dst_offset = a.dst_offset, dst_node = a.dst_node,
+       payload = a.payload, dp] {
+        const Region& r = regions_[dst.index];
+        std::memcpy(r.mem.data() + dst_offset, payload->data(),
+                    payload->size());
+        ++stats_[dst_node].writes_delivered;
+        release_payload(dp, payload);
         doorbells_[dst_node]->signal();
       });
 }
 
 void Fabric::isolate(NodeId node) {
   assert(node < n_);
+  // Crash isolation flips a flag read by every other node's posts and
+  // in-flight deliveries — inherently cross-partition, so it has no
+  // race-free parallel-mode story (Cluster::crash guards this too).
+  assert(!parallel_ && "isolate() is serial-mode only");
   isolated_[node] = 1;
   // A dead NIC's send queue is gone; recycle the stalled payloads.
-  for (QueuedWrite& w : egress_queue_[node]) release_payload(w.payload);
+  for (QueuedWrite& w : egress_queue_[node]) release_payload(0, w.payload);
   egress_queue_[node].clear();
 }
 
 void Fabric::restore(NodeId node) {
   assert(node < n_);
+  assert(!parallel_ && "restore() is serial-mode only");
   isolated_[node] = 0;
   egress_paused_[node] = 0;
   assert(egress_queue_[node].empty());
@@ -200,14 +341,15 @@ void Fabric::resume_egress(NodeId node) {
   egress_paused_[node] = 0;
   auto queued = std::move(egress_queue_[node]);
   egress_queue_[node].clear();
+  const std::size_t stripe = part_of(node);
   if (isolated_[node]) {  // crashed while stalled: queue lost
-    for (QueuedWrite& w : queued) release_payload(w.payload);
+    for (QueuedWrite& w : queued) release_payload(stripe, w.payload);
     return;
   }
-  const sim::Nanos now = engine_.now();
+  const sim::Nanos now = node_engine(node).now();
   for (auto& w : queued) {
     if (isolated_[regions_[w.dst.index].node]) {
-      release_payload(w.payload);
+      release_payload(stripe, w.payload);
       continue;
     }
     transmit(node, w.dst, w.dst_offset, w.payload, now);
@@ -217,6 +359,10 @@ void Fabric::resume_egress(NodeId node) {
 void Fabric::set_link_fault(NodeId src, NodeId dst, double latency_multiplier,
                             sim::Nanos jitter) {
   assert(src < n_ && dst < n_);
+  // A multiplier below 1 could deliver faster than min_remote_delay(), the
+  // parallel engine's lookahead bound — soundness, not just determinism.
+  assert((!parallel_ || latency_multiplier >= 1.0) &&
+         "parallel mode requires link latency multipliers >= 1");
   link_faults_[src * n_ + dst] = LinkFault{latency_multiplier, jitter};
 }
 

@@ -64,6 +64,30 @@ class Fabric {
   std::span<std::byte> region_mem(RegionId id);
   NodeId region_node(RegionId id) const;
 
+  /// Switch the fabric into parallel-simulation mode (sim::ParallelEngine):
+  /// `engine_of_node[i]` is the worker engine that owns node i and
+  /// `part_of_node[i]` its partition. Call once, before any region is
+  /// registered. From then on every inter-node post is staged into a
+  /// per-(src-partition, dst-partition) channel instead of being scheduled
+  /// directly, and the owner must call merge_arrivals(p) for each partition
+  /// at every lookahead barrier. Restrictions vs. serial mode (asserted or
+  /// documented at the call sites): isolate()/restore() are not supported;
+  /// pause/resume_egress and set_link_fault must run on the affected
+  /// source node's worker; link-fault latency multipliers must be >= 1 so
+  /// the lookahead bound stays valid. Jitter draws switch from the shared
+  /// serial RNG to a per-link counter hash seeded by `jitter_seed`
+  /// (worker-count-invariant, but a different sequence than serial).
+  void configure_partitions(std::vector<sim::Engine*> engine_of_node,
+                            std::vector<std::uint32_t> part_of_node,
+                            std::size_t n_partitions,
+                            std::uint64_t jitter_seed);
+
+  /// Apply every staged arrival destined to partition `dst_part`, in the
+  /// serial engine's global post order (sorted by the posting events'
+  /// birth keys). Must be called on `dst_part`'s worker thread, at a
+  /// barrier where all workers are parked between lookahead windows.
+  void merge_arrivals(std::size_t dst_part);
+
   /// Post a one-sided write of `src` into (dst region, dst_offset).
   ///
   /// Returns the CPU cost of posting the verb, charged to the calling
@@ -135,21 +159,65 @@ class Fabric {
     std::vector<std::byte>* payload;  // pool-owned
   };
 
+  /// One staged cross-worker delivery (parallel mode). Egress serialization
+  /// and the latency adder are resolved source-side (that state is per
+  /// source node, hence single-worker); ingress serialization and the
+  /// per-QP FIFO clamp are per *destination* node and are applied at the
+  /// merge, in the sort order below.
+  struct Arrival {
+    RegionId dst;
+    std::uint32_t dst_offset;
+    std::vector<std::byte>* payload;
+    /// Bulk: arrival at the receiver NIC (pre-ingress). Control: delivery
+    /// time (pre-FIFO-clamp) — control QPs skip ingress serialization.
+    sim::Nanos base;
+    sim::Nanos occ;  // bulk ingress occupancy
+    NodeId src_node;
+    NodeId dst_node;
+    bool control;
+    /// Full ordering key of the posting event (sim/sched.hpp): sorting
+    /// merged arrivals by (k_at, k_b0, k_b1, k_d, k_pu, k_s) reproduces the
+    /// serial engine's global post order, because that key is exactly the
+    /// order the serial wheel dispatches events in. (del_pu, del_s) is the
+    /// identity the posting event drew for the delivery event at post time
+    /// (Engine::draw_child_key) — the same draw serial schedule_fn would
+    /// make; del_s doubles as the final sort key ordering multiple posts
+    /// from one event.
+    sim::Nanos k_at, k_b0, k_b1;
+    std::uint32_t k_d;
+    std::uint64_t k_pu, k_s;
+    std::uint64_t del_pu, del_s;
+  };
+
   /// In-flight payload snapshots are pooled: a delivery returns its buffer
   /// for reuse, so steady-state traffic allocates nothing per write. The
   /// pool owns every buffer (deque keeps addresses stable); an event that
   /// never runs merely strands its buffer until the Fabric dies — no leak.
-  std::vector<std::byte>* acquire_payload(std::span<const std::byte> src);
-  void release_payload(std::vector<std::byte>* p) noexcept {
+  /// Pools are striped per partition (stripe 0 in serial mode); callers
+  /// always use the stripe of the worker thread they run on, so buffers
+  /// migrate src stripe -> dst stripe without any locking.
+  std::vector<std::byte>* acquire_payload(std::size_t stripe,
+                                          std::span<const std::byte> src);
+  void release_payload(std::size_t stripe, std::vector<std::byte>* p) {
     p->clear();
-    payload_free_.push_back(p);
+    pools_[stripe].free_list.push_back(p);
   }
 
   /// Wire model shared by post_write and resume_egress: serialize at the
   /// sender's port from `ready`, apply link latency (plus any injected
-  /// fault), clamp to per-QP FIFO, and schedule the landing.
+  /// fault), clamp to per-QP FIFO, and schedule the landing. In parallel
+  /// mode the destination half is staged instead (see Arrival).
   void transmit(NodeId src_node, RegionId dst, std::size_t dst_offset,
                 std::vector<std::byte>* payload, sim::Nanos ready);
+  void deliver_arrival(const Arrival& a);
+
+  sim::Engine& node_engine(NodeId node) noexcept {
+    return parallel_ ? *engine_of_node_[node] : engine_;
+  }
+  std::size_t part_of(NodeId node) const noexcept {
+    return parallel_ ? part_of_node_[node] : 0;
+  }
+  sim::Nanos jitter_draw(NodeId src, NodeId dst, sim::Nanos jitter);
 
   sim::Engine& engine_;
   TimingModel timing_;
@@ -174,9 +242,26 @@ class Fabric {
   std::vector<LinkFault> link_faults_;  // src * n_ + dst
   sim::Rng fault_rng_{0xfab51c};
 
-  // Payload snapshot pool (see acquire_payload).
-  std::deque<std::vector<std::byte>> payload_store_;
-  std::vector<std::vector<std::byte>*> payload_free_;
+  // Payload snapshot pool stripes (see acquire_payload; one stripe in
+  // serial mode, one per partition in parallel mode).
+  struct PayloadPool {
+    std::deque<std::vector<std::byte>> store;
+    std::vector<std::vector<std::byte>*> free_list;
+  };
+  std::vector<PayloadPool> pools_{1};
+
+  // Parallel-mode routing state (empty in serial mode). staged_[s * P + d]
+  // is written only by partition s's worker during a window and drained
+  // only by partition d's worker at the barrier; the window barriers order
+  // the two, so no cell needs a lock.
+  bool parallel_ = false;
+  std::size_t n_parts_ = 1;
+  std::vector<sim::Engine*> engine_of_node_;
+  std::vector<std::uint32_t> part_of_node_;
+  std::vector<std::vector<Arrival>> staged_;
+  std::vector<std::vector<Arrival>> merge_scratch_;  // per dst partition
+  std::vector<std::uint64_t> jitter_seq_;     // per link, parallel jitter
+  std::uint64_t jitter_seed_ = 0;
 };
 
 }  // namespace spindle::net

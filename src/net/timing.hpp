@@ -60,6 +60,14 @@ struct TimingModel {
     return occupancy(size) + latency_adder(size);
   }
 
+  /// Lower bound on post-to-delivery delay between two *different* nodes:
+  /// every remote write serializes through egress occupancy and the latency
+  /// adder, both monotone in size, so the 0-byte isolated latency (~1.7 us
+  /// at the defaults) bounds them all. Queueing (egress/ingress FIFOs,
+  /// bursts) and fault multipliers >= 1 only push deliveries later. This is
+  /// the conservative-DES lookahead horizon of sim::ParallelEngine.
+  sim::Nanos min_remote_delay() const { return isolated_latency(0); }
+
   /// Datacenter-TCP preset (the paper: "Derecho supports many kinds of
   /// networks, including TCP" — and the same optimizations apply, though
   /// RDMA's microsecond scale amplifies the overheads they remove). Same

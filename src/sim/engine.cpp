@@ -51,7 +51,7 @@ std::string Engine::diagnostics() const {
   Nanos next = 0;
   if (wheel_.peek_at(&next)) os << " next_event_at=" << next << "ns";
   const TimerWheel::Occupancy occ = wheel_.occupancy();
-  os << "\nscheduler: immediate=" << occ.immediate << " ready=" << occ.ready
+  os << "\nscheduler: ready=" << occ.ready
      << " wheel=" << occ.wheel << " overflow=" << occ.overflow << " window=["
      << occ.window_base << ".." << occ.window_end << ")ns\n";
   if (diagnostics_provider_) os << diagnostics_provider_();

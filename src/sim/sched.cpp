@@ -18,7 +18,6 @@ TimerWheel::~TimerWheel() {
       if (n->invoke != nullptr && n->drop != nullptr) n->drop(n);
     }
   };
-  drop_chain(fifo_head_);
   for (EventNode* n : ready_) {
     if (n->invoke != nullptr && n->drop != nullptr) n->drop(n);
   }
@@ -47,22 +46,13 @@ void TimerWheel::insert(Nanos at, EventNode* n) {
   n->at = at;
   n->seq = seq_++;
   ++live_;
-  if (at == last_pop_at_) {
-    // Fast path: schedule-at-now (mutex handoff, doorbell, spawn, sleep(0)).
-    // Sequence numbers are monotonic, so appending keeps the list sorted,
-    // and the list drains before virtual time can advance past it.
-    n->next = nullptr;
-    if (fifo_tail_ != nullptr) {
-      fifo_tail_->next = n;
-    } else {
-      fifo_head_ = n;
-    }
-    fifo_tail_ = n;
-    return;
-  }
   const std::int64_t idx = (at - base_) >> kSlotShift;
   if (idx < static_cast<std::int64_t>(next_scan_)) {
-    // Current (or already-drained) bucket: joins the ready heap directly.
+    // Current (or already-drained) bucket — including every schedule-at-now
+    // (mutex handoff, doorbell, spawn, sleep(0)): joins the ready heap
+    // directly. The at-now chain-depth key (EventNode::d) sorts it after
+    // everything already dispatched at this instant, in per-scheduler
+    // scheduling order.
     ready_.push_back(n);
     std::push_heap(ready_.begin(), ready_.end(), later);
     return;
@@ -154,27 +144,18 @@ EventNode* TimerWheel::pop() {
 
 EventNode* TimerWheel::pop_until(Nanos horizon) {
   for (;;) {
-    // Examine the minimum-(at, seq) candidate before unlinking it, so a
-    // live node beyond the horizon can be left exactly where it is. The
-    // FIFO head ties at == last_pop_at_ and buckets beyond the cursor are
-    // strictly later than the ready heap, so fifo/ready cover the minimum.
-    const bool from_fifo =
-        fifo_head_ != nullptr &&
-        (ready_.empty() || !later(fifo_head_, ready_.front()));
-    EventNode* n =
-        from_fifo ? fifo_head_ : (ready_.empty() ? nullptr : ready_.front());
+    // Examine the minimum-key candidate before unlinking it, so a live node
+    // beyond the horizon can be left exactly where it is. Buckets beyond
+    // the cursor are strictly later than the ready heap, so the heap top
+    // is the minimum whenever it is non-empty.
+    EventNode* n = ready_.empty() ? nullptr : ready_.front();
     if (n == nullptr) {
       if (!advance()) return nullptr;
       continue;
     }
     if (n->invoke != nullptr && n->at > horizon) return nullptr;
-    if (from_fifo) {
-      fifo_head_ = n->next;
-      if (fifo_head_ == nullptr) fifo_tail_ = nullptr;
-    } else {
-      std::pop_heap(ready_.begin(), ready_.end(), later);
-      ready_.pop_back();
-    }
+    std::pop_heap(ready_.begin(), ready_.end(), later);
+    ready_.pop_back();
     if (n->invoke == nullptr) {
       release(n);  // cancelled: payload already destroyed, reclaim lazily
       continue;
@@ -187,10 +168,6 @@ EventNode* TimerWheel::pop_until(Nanos horizon) {
 }
 
 bool TimerWheel::peek_at(Nanos* out) const {
-  if (fifo_head_ != nullptr) {
-    *out = fifo_head_->at;
-    return true;
-  }
   if (!ready_.empty()) {
     *out = ready_.front()->at;
     return true;
@@ -213,7 +190,6 @@ bool TimerWheel::peek_at(Nanos* out) const {
 
 TimerWheel::Occupancy TimerWheel::occupancy() const {
   Occupancy occ;
-  for (EventNode* n = fifo_head_; n != nullptr; n = n->next) ++occ.immediate;
   occ.ready = ready_.size();
   for (std::size_t b = scan_from(0); b < kNumBuckets; b = scan_from(b + 1)) {
     for (EventNode* n = buckets_[b]; n != nullptr; n = n->next) ++occ.wheel;

@@ -26,6 +26,33 @@ struct EventNode {
   static constexpr std::uint64_t kFreeSeq = ~std::uint64_t{0};
 
   Nanos at = 0;
+  /// Worker-invariant ordering key for parallel determinism. Events are
+  /// totally ordered by (at, b0, b1, d, pu, s) — a key computable without
+  /// any global counter, so a run partitioned across W worker wheels orders
+  /// same-timestamp events exactly as the single serial wheel does:
+  ///
+  ///  * b0 — virtual time the event was scheduled at; b1 — the b0 of the
+  ///    scheduling event (the "birth chain": earlier-scheduled work sorts
+  ///    first within an instant, the serial engine's historical FIFO bias);
+  ///  * d — schedule-at-now chain depth. Every at-now event carries a depth
+  ///    one greater than its scheduler's, which makes insertion key-monotone
+  ///    within an instant: an event can only create work that sorts *after*
+  ///    everything already dispatched, so comparator order equals execution
+  ///    order — the property the parallel fabric merge replays;
+  ///  * pu — the scheduling event's unique id (hash-chained from ITS (pu,
+  ///    s), roots draw from an engine-group counter consumed in setup
+  ///    order); s — per-scheduler child index. Together they break
+  ///    cross-scheduler ties by a worker-count-invariant hash while keeping
+  ///    events from one scheduler in scheduling order (the stable-FIFO
+  ///    guarantee the simulated mutex and NIC FIFO rely on).
+  ///
+  /// seq stays as a last-resort tie-break (pu hash collisions) and for
+  /// TimerId validation; it is engine-local and never reached in practice.
+  Nanos b0 = 0;
+  Nanos b1 = 0;
+  std::uint32_t d = 0;
+  std::uint64_t pu = 0;
+  std::uint64_t s = 0;
   std::uint64_t seq = kFreeSeq;
   EventNode* next = nullptr;        // bucket chain / free list / FIFO link
   void (*invoke)(EventNode*) = nullptr;  // run + destroy payload; null = dead
@@ -37,29 +64,27 @@ struct EventNode {
 ///
 /// Replaces the binary-heap event queue: the common case (events within
 /// ~1 ms of virtual now — verb posts, wire latencies, heartbeats) is an
-/// O(1) bucket insert, and the very common `schedule at now` case (mutex
-/// handoff, doorbell signal, spawn) is an O(1) FIFO append. Ordering is
-/// exactly (at, seq) ascending — identical to the heap it replaces,
-/// including same-timestamp FIFO ties — resolved per tier:
+/// O(1) bucket insert. Ordering is exactly (at, b0, b1, d, pu, s, seq)
+/// ascending (see EventNode), resolved per tier:
 ///
-///  * **immediate FIFO** — events at exactly the current virtual time.
-///    Sequence numbers are assigned monotonically, so appending preserves
-///    order and the list is drained before time can advance.
-///  * **ready heap** — the bucket containing `now`, heapified by (at, seq)
-///    when the cursor reaches it (heap order only *inside* one bucket).
+///  * **ready heap** — the bucket containing `now`, heapified by the event
+///    key when the cursor reaches it (heap order only *inside* one bucket).
+///    Schedule-at-now events (mutex handoff, doorbell signal, spawn) join
+///    it directly — their d/pu/s key sorts them after everything already
+///    dispatched at the instant, in scheduling order per scheduler.
 ///  * **wheel** — kNumBuckets unsorted bucket chains of kSlotWidth ns each,
 ///    with a bitmap for O(1) next-non-empty scan.
 ///  * **overflow** — far-future timers (watchdogs, failure timeouts beyond
 ///    the window). When the wheel drains, the window is re-based at the
 ///    earliest overflow timer and overflow events that now fit migrate in.
 ///
-/// Determinism argument: pop() always returns the minimum (at, seq) over
-/// all tiers. FIFO entries all carry at == last-popped-at (the current
-/// instant) and beat every bucket event (strictly later buckets) and tie
-/// against ready-heap events by seq; buckets beyond the cursor hold only
-/// events later than everything in the ready heap; overflow holds only
-/// events beyond the window. Insertion order inside a bucket is irrelevant
-/// because the bucket is sorted (heapified) before any of it is popped.
+/// Determinism argument: pop() always returns the key-minimum over all
+/// tiers. The ready heap holds everything at or before the cursor; buckets
+/// beyond the cursor hold only events later than everything in the ready
+/// heap; overflow holds only events beyond the window. Insertion order
+/// inside a bucket is irrelevant because the bucket is sorted (heapified)
+/// before any of it is popped, and at-now insertions are key-monotone
+/// (EventNode::d), so a heap push never has to reorder dispatched work.
 class TimerWheel {
  public:
   static constexpr int kBucketBits = 11;  // 2048 buckets
@@ -125,12 +150,8 @@ class TimerWheel {
 
   /// Advance the wheel's notion of "the current instant" without popping —
   /// used by Engine::run_to when virtual time moves past the last event.
-  /// Precondition: no pending event is earlier than `t` (so the at-now
-  /// FIFO is empty and insert-at-`t` keeps its fast path).
-  void sync_now(Nanos t) noexcept {
-    assert(fifo_head_ == nullptr);
-    last_pop_at_ = t;
-  }
+  /// Precondition: no pending event is earlier than `t`.
+  void sync_now(Nanos t) noexcept { last_pop_at_ = t; }
 
   /// Earliest pending timestamp without disturbing any tier. Returns false
   /// when empty. Diagnostics only: the reported timestamp may belong to a
@@ -141,8 +162,7 @@ class TimerWheel {
   /// Tier occupancy for diagnostics dumps (counts include dead nodes not
   /// yet reclaimed — they still occupy tier slots).
   struct Occupancy {
-    std::size_t immediate = 0;  // at-now FIFO
-    std::size_t ready = 0;      // current bucket heap
+    std::size_t ready = 0;      // current bucket heap (includes at-now work)
     std::size_t wheel = 0;      // future buckets within the window
     std::size_t overflow = 0;   // beyond the window
     Nanos window_base = 0;
@@ -152,7 +172,13 @@ class TimerWheel {
 
  private:
   static bool later(const EventNode* a, const EventNode* b) noexcept {
-    return a->at != b->at ? a->at > b->at : a->seq > b->seq;
+    if (a->at != b->at) return a->at > b->at;
+    if (a->b0 != b->b0) return a->b0 > b->b0;
+    if (a->b1 != b->b1) return a->b1 > b->b1;
+    if (a->d != b->d) return a->d > b->d;
+    if (a->pu != b->pu) return a->pu > b->pu;
+    if (a->s != b->s) return a->s > b->s;
+    return a->seq > b->seq;
   }
 
   /// Drain the next non-empty bucket into the ready heap, re-basing the
@@ -177,13 +203,11 @@ class TimerWheel {
   EventNode* free_ = nullptr;
 
   // Tiers.
-  EventNode* fifo_head_ = nullptr;  // at == last_pop_at_, seq-ordered
-  EventNode* fifo_tail_ = nullptr;
   static bool overflow_later(const EventNode* a, const EventNode* b) noexcept {
     return a->at > b->at;
   }
 
-  std::vector<EventNode*> ready_;   // min-heap by (at, seq)
+  std::vector<EventNode*> ready_;   // min-heap by the event key
   std::vector<EventNode*> buckets_;
   std::vector<std::uint64_t> bitmap_;
   /// Min-heap on `at` only: rebase pops just the prefix that fits the new

@@ -1,5 +1,6 @@
 #include "workload/experiment.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +31,14 @@ double bench_scale() {
   return 1.0;
 }
 
+std::size_t sim_threads_from_env() {
+  if (const char* env = std::getenv("SPINDLE_SIM_THREADS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 1;
+}
+
 namespace {
 
 /// Application sender thread: streams `count` messages into one subgroup,
@@ -46,7 +55,7 @@ sim::Co<> sender_actor(core::Cluster* cluster, net::NodeId id,
         std::memcpy(buf.data(), &tag, sizeof tag);
       }
     });
-    if (delay > 0) co_await cluster->engine().sleep(delay);
+    if (delay > 0) co_await cluster->engine_for(id).sleep(delay);
   }
 }
 
@@ -62,6 +71,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   cc.trace = cfg.trace;
   cc.discipline = cfg.discipline;
   cc.scan_interval = cfg.scan_interval;
+  cc.sim_threads = cfg.sim_threads > 0 ? cfg.sim_threads : sim_threads_from_env();
   if (!cfg.trace_out.empty()) cc.trace.enabled = true;
   core::Cluster cluster(cc);
 
@@ -102,7 +112,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     for (std::size_t s = 0; s < n_senders; ++s) {
       const bool delayed = s < cfg.delayed_senders;
       if (delayed && cfg.delayed_forever) continue;
-      cluster.engine().spawn(sender_actor(
+      cluster.engine_for(senders[s]).spawn(sender_actor(
           &cluster, senders[s], sgs[g], cfg.messages_per_sender,
           cfg.message_size, delayed ? cfg.post_send_delay : 0));
     }
@@ -111,32 +121,69 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   // Count only deliveries of messages from tracked (non-delayed) senders.
   // Delayed senders' messages still flow and count toward bytes/latency,
   // but completion keys on the continuous senders.
-  std::uint64_t tracked_delivered = 0;
+  //
+  // Parallel-safe accounting: each node's delivery handler runs on the
+  // worker that owns the node, so counts and latency samples go into
+  // per-node slots (written by exactly one thread). The stop condition sums
+  // the slots — it only runs at a lookahead barrier (or on the single
+  // serial thread), where every worker's writes are visible.
+  std::vector<std::uint64_t> tracked_per_node(cfg.nodes, 0);
+  std::vector<sim::Nanos> last_tracked_at(cfg.nodes, 0);
+  struct NodeLatency {
+    metrics::Histogram delayed;
+    metrics::Histogram continuous;
+  };
+  std::vector<NodeLatency> latency_per_node(cfg.nodes);
   ExperimentResult res;
   for (std::size_t g = 0; g < cfg.active_subgroups && g < cfg.subgroups;
        ++g) {
     const core::SubgroupId sg = sgs[g];
     for (net::NodeId m : all) {
+      sim::Engine& eng = cluster.engine_for(m);
+      std::uint64_t& tracked = tracked_per_node[m];
+      sim::Nanos& last_at = last_tracked_at[m];
+      NodeLatency& lat_slot = latency_per_node[m];
       cluster.node(m).set_delivery_handler(
-          sg, [&tracked_delivered, &res, &cluster,
-               &cfg](const core::Delivery& d) {
-            if (d.sender >= cfg.delayed_senders) ++tracked_delivered;
+          sg, [&tracked, &last_at, &lat_slot, &eng, &cfg](
+                  const core::Delivery& d) {
+            if (d.sender >= cfg.delayed_senders) {
+              ++tracked;
+              last_at = eng.now();
+            }
             if (d.sent_at >= 0) {
-              const auto lat = static_cast<std::uint64_t>(
-                  cluster.engine().now() - d.sent_at);
+              const auto lat =
+                  static_cast<std::uint64_t>(eng.now() - d.sent_at);
               if (d.sender < cfg.delayed_senders) {
-                res.delayed_sender_latency_ns.add(lat);
+                lat_slot.delayed.add(lat);
               } else {
-                res.continuous_sender_latency_ns.add(lat);
+                lat_slot.continuous.add(lat);
               }
             }
           });
     }
   }
   res.expected_deliveries = expected;
-  res.completed = cluster.engine().run_until(
-      [&] { return tracked_delivered >= expected; }, cfg.max_virtual);
-  res.makespan = cluster.engine().now();
+  res.completed = cluster.run_until(
+      [&] {
+        std::uint64_t total = 0;
+        for (std::uint64_t n : tracked_per_node) total += n;
+        return total >= expected;
+      },
+      cfg.max_virtual);
+  // Makespan is the virtual time of the last *tracked* delivery, not the
+  // time the driver happened to halt: the serial engine stops mid-event the
+  // moment the condition holds, while the parallel engine only re-checks at
+  // the next lookahead barrier. Delivery streams are byte-identical across
+  // modes, so this timestamp — and every throughput/latency figure derived
+  // from it — is worker-count-invariant where cluster.now() is not.
+  res.makespan = 0;
+  for (sim::Nanos t : last_tracked_at) res.makespan = std::max(res.makespan, t);
+  if (!res.completed || res.makespan == 0) res.makespan = cluster.now();
+  res.sim_workers = cluster.sim_workers();
+  for (const NodeLatency& nl : latency_per_node) {
+    res.delayed_sender_latency_ns.merge(nl.delayed);
+    res.continuous_sender_latency_ns.merge(nl.continuous);
+  }
 
   res.stats = cluster.stats();
   const metrics::ProtocolCounters& totals = res.stats.total;
@@ -181,7 +228,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   cluster.shutdown();
-  res.engine_steps = cluster.engine().steps();
+  res.engine_steps = cluster.steps();
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

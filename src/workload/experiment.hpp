@@ -49,6 +49,13 @@ struct ExperimentConfig {
   core::CpuModel cpu{};
   sim::Nanos max_virtual = sim::seconds(600);  // stall watchdog
 
+  /// Simulation worker threads (ClusterConfig::sim_threads). 0 (default)
+  /// resolves from the SPINDLE_SIM_THREADS environment variable, falling
+  /// back to 1 (serial). Values > 1 run the conservative-lookahead parallel
+  /// engine; completion-invariant results (deliveries, latency histograms)
+  /// are identical to serial runs.
+  std::size_t sim_threads = 0;
+
   /// Pipeline tracing (off by default; enabling it must not perturb virtual
   /// time). When `trace_out` is non-empty, tracing is forced on and a
   /// Chrome/Perfetto JSON dump is written there after the run.
@@ -82,6 +89,8 @@ struct ExperimentResult {
   /// BENCH_*.json baselines track.
   std::uint64_t engine_steps = 0;
   double wall_seconds = 0;
+  /// Worker threads the run actually used (1 = serial engine).
+  std::size_t sim_workers = 1;
   /// Delivery latency split by sender class (§4.2.1: messages from delayed
   /// senders vs continuous senders).
   metrics::Histogram delayed_sender_latency_ns;
@@ -112,5 +121,9 @@ std::size_t sender_count(SenderPattern p, std::size_t nodes);
 /// Benchmark scale factor from SPINDLE_BENCH_SCALE (default 1.0): scales
 /// messages_per_sender so CI and quick runs stay fast.
 double bench_scale();
+
+/// Worker-thread count from SPINDLE_SIM_THREADS (default 1). This is what
+/// ExperimentConfig::sim_threads == 0 resolves to.
+std::size_t sim_threads_from_env();
 
 }  // namespace spindle::workload

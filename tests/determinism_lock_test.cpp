@@ -219,7 +219,13 @@ std::uint64_t view_change_digest(std::uint64_t seed) {
 // Golden digests, captured on the pre-refactor pipeline (monolithic
 // process_subgroup_sync, sleep-polling view layer). The refactored
 // predicate framework must reproduce them exactly.
-constexpr std::uint64_t kGoldenFig03 = 0x365e331d6cce736e;
+// kGoldenFig03 was re-derived once, for the parallel engine's
+// worker-invariant event key (sim/sched.hpp): cross-scheduler
+// same-instant ties break by the deterministic key hash instead of
+// global insertion order, which reordered one tie in this workload (the
+// other three digests were unaffected). Serial and parallel runs pin
+// the *same* digests — parallel_engine_test cross-checks that.
+constexpr std::uint64_t kGoldenFig03 = 0xe8fc214e12b1e8e3;
 constexpr std::uint64_t kGoldenFig09 = 0xea69ce9212cbae91;
 constexpr std::uint64_t kGoldenViewChange = 0x3080420c16e0e5a0;
 // Captured when the DRR discipline landed (same workload as fig09, run

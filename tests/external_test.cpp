@@ -1,7 +1,7 @@
 // External DDS clients (§4.6): publish/subscribe from outside the group
 // through a relay member, with the extra relaying step. Exercises the
-// Session front-tier API; one test pins the deprecated ExternalClient shim
-// until it is removed (see CHANGES.md).
+// Session front-tier API over a per-relay ClientMux (the deprecated
+// ExternalClient shim is gone — see CHANGES.md).
 
 #include <gtest/gtest.h>
 
@@ -9,7 +9,6 @@
 #include <vector>
 
 #include "dds/client_mux.hpp"
-#include "dds/external.hpp"
 #include "dds/session.hpp"
 
 namespace spindle::dds {
@@ -134,38 +133,6 @@ TEST_F(ExternalFixture, SlowTcpLinkStillDeliversEverything) {
   EXPECT_EQ(session->samples_received(), 40u);
 }
 
-// The deprecated ExternalClient shim (one release, see CHANGES.md): the old
-// publish_bytes/set_listener surface must keep behaving over the mux.
-TEST(ExternalShim, DeprecatedSurfaceStillWorks) {
-  core::ClusterConfig cc;
-  cc.nodes = 4;
-  Domain domain(cc);
-  TopicConfig tc;
-  tc.name = "shim";
-  tc.topic_id = 1;
-  tc.max_sample_size = 512;
-  tc.publishers = {0};
-  tc.subscribers = {0, 1};
-  domain.create_topic(tc);
-  ExternalClient& client = domain.create_external_client(1, 3, 0, {});
-  domain.start();
-
-  std::uint64_t heard = 0;
-  client.set_listener([&](const Sample&) { ++heard; });
-  domain.engine().spawn([](ExternalClient* c) -> sim::Co<> {
-    for (std::uint64_t i = 0; i < 10; ++i) {
-      co_await c->publish_bytes(sample_bytes(i));
-    }
-  }(&client));
-  ASSERT_TRUE(domain.engine().run_until([&] { return heard >= 10; },
-                                        sim::seconds(5)));
-  EXPECT_EQ(client.samples_published(), 10u);
-  EXPECT_EQ(client.samples_received(), 10u);
-  EXPECT_TRUE(client.session().connected());  // the migration escape hatch
-  client.stop();
-  EXPECT_FALSE(client.session().connected());
-}
-
 TEST(ExternalValidation, RejectsBadConfigurations) {
   core::ClusterConfig cc;
   cc.nodes = 4;
@@ -176,22 +143,19 @@ TEST(ExternalValidation, RejectsBadConfigurations) {
   tc.publishers = {0};
   tc.subscribers = {1};
   domain.create_topic(tc);
-  ClientLinkModel link;
   // Relay must be a subscriber AND a publisher.
-  EXPECT_THROW(domain.create_external_client(1, 3, 2, link),
-               std::invalid_argument);
-  EXPECT_THROW(domain.create_external_client(1, 3, 1, link),
+  EXPECT_THROW(domain.create_client_mux(1, 3, 2), std::invalid_argument);
+  EXPECT_THROW(domain.create_client_mux(1, 3, 1),
                std::invalid_argument);  // subscriber but not publisher
-  // Client node must be outside the topic.
+  // Gateway node must be outside the topic.
   TopicConfig ok;
   ok.name = "ok";
   ok.topic_id = 2;
   ok.publishers = {0};
   ok.subscribers = {0, 1};
   domain.create_topic(ok);
-  EXPECT_THROW(domain.create_external_client(2, 1, 0, link),
-               std::invalid_argument);
-  domain.create_external_client(2, 3, 0, link);  // valid
+  EXPECT_THROW(domain.create_client_mux(2, 1, 0), std::invalid_argument);
+  domain.create_client_mux(2, 3, 0);  // valid
 }
 
 }  // namespace

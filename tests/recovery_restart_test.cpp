@@ -138,7 +138,11 @@ struct TotalFailureRun {
 // Golden digest for AllMembersRestartAndResume, captured when the
 // recovery path landed. A change means the recovery protocol's observable
 // behaviour moved — re-derive deliberately, never rubber-stamp.
-constexpr std::uint64_t kGoldenTotalRecovery = 0x6c9632bcd446580fULL;
+// Re-derived for the parallel engine's worker-invariant event key
+// (sim/sched.hpp): cross-scheduler same-instant ties now break by the
+// deterministic key hash instead of global insertion order, which
+// reordered one tie in this workload's crash window.
+constexpr std::uint64_t kGoldenTotalRecovery = 0x68bdc866bc676178ULL;
 
 TEST(TotalFailureRecovery, AllMembersRestartAndResume) {
   TotalFailureRun r(4, /*seed=*/2026, /*persistent=*/true);
