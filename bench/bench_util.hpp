@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "workload/experiment.hpp"
+#include "workload/sharded.hpp"
 #include "workload/table.hpp"
 
 extern "C" char** environ;  // POSIX: not declared by any header
@@ -59,6 +60,7 @@ inline std::string check_completed(const ExperimentResult& r) {
 /// Shape:
 ///   { "bench": "<name>", "scale": <SPINDLE_BENCH_SCALE>,
 ///     "provenance": { "seed": ..., "messages_per_sender": ...,
+///                     "shards": ..., "cross_shard_fraction": ...,
 ///                     "sim_threads": ..., "hardware_concurrency": ...,
 ///                     "env": { "SPINDLE_...": "...", ... } },
 ///     "runs": [ { "label": "...", "events_per_sec": ..., "wall_seconds":
@@ -85,6 +87,15 @@ class BenchReport {
     seed_ = seed;
     messages_per_sender_ = messages_per_sender;
     has_provenance_ = true;
+  }
+
+  /// Sharded-domain benches additionally stamp the shard count and the
+  /// cross-shard fraction the report's headline rows ran with (benches
+  /// sweeping both pass their largest configuration).
+  void set_shard_provenance(std::size_t shards, double cross_fraction) {
+    shards_ = shards;
+    cross_fraction_ = cross_fraction;
+    has_shard_provenance_ = true;
   }
 
   /// Record one experiment under `label`. events/sec is engine events
@@ -115,6 +126,20 @@ class BenchReport {
     runs_.push_back(std::move(run));
   }
 
+  /// Record one sharded-domain run: msgs_delivered counts merged upcalls
+  /// (each send exactly once per member), matching the throughput metric.
+  void add_run(const std::string& label, const workload::ShardedResult& r) {
+    Run run;
+    run.label = label;
+    run.engine_steps = r.engine_steps;
+    run.wall_seconds = r.wall_seconds;
+    run.makespan_ns = static_cast<std::uint64_t>(r.makespan);
+    run.msgs_delivered = r.expected_deliveries;
+    run.sim_workers = r.sim_workers;
+    run.throughput_gbps = r.throughput_gbps;
+    runs_.push_back(std::move(run));
+  }
+
   /// Free-form scalar (e.g. a speedup ratio or an ops/sec measurement that
   /// does not come from an ExperimentResult).
   void add_metric(const std::string& key, double value) {
@@ -137,6 +162,12 @@ class BenchReport {
       std::fprintf(f, "\n    \"seed\": %llu,\n    \"messages_per_sender\": %llu,",
                    static_cast<unsigned long long>(seed_),
                    static_cast<unsigned long long>(messages_per_sender_));
+    }
+    if (has_shard_provenance_) {
+      std::fprintf(f,
+                   "\n    \"shards\": %llu,"
+                   "\n    \"cross_shard_fraction\": %.6g,",
+                   static_cast<unsigned long long>(shards_), cross_fraction_);
     }
     std::fprintf(f,
                  "\n    \"sim_threads\": %llu,"
@@ -214,6 +245,9 @@ class BenchReport {
   bool has_provenance_ = false;
   std::uint64_t seed_ = 0;
   std::uint64_t messages_per_sender_ = 0;
+  bool has_shard_provenance_ = false;
+  std::size_t shards_ = 0;
+  double cross_fraction_ = 0;
 };
 
 }  // namespace spindle::bench

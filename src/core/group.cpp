@@ -112,6 +112,46 @@ SubgroupId Cluster::create_subgroup(SubgroupConfig cfg) {
   return static_cast<SubgroupId>(subgroup_configs_.size() - 1);
 }
 
+std::size_t Cluster::add_shared_i64_field(std::string name,
+                                          std::int64_t init) {
+  if (started_) {
+    throw std::logic_error(
+        "Cluster::add_shared_i64_field(\"" + name +
+        "\"): cluster already started — the SST layout is fixed at start()");
+  }
+  shared_fields_.push_back(SharedField{std::move(name), init, {}});
+  return shared_fields_.size() - 1;
+}
+
+sst::FieldId Cluster::shared_field(std::size_t handle) const {
+  if (!started_) {
+    throw std::logic_error(
+        "Cluster::shared_field: fields resolve at start()");
+  }
+  if (handle >= shared_fields_.size()) {
+    throw std::out_of_range("Cluster::shared_field: bad handle");
+  }
+  return shared_fields_[handle].field;
+}
+
+void Cluster::add_predicate_hook(
+    std::function<void(Node&, sst::Predicates&)> hook) {
+  if (started_) {
+    throw std::logic_error(
+        "Cluster::add_predicate_hook: cluster already started — predicate "
+        "registries are built during start()");
+  }
+  predicate_hooks_.push_back(std::move(hook));
+}
+
+std::size_t Cluster::rank_of(net::NodeId id) const {
+  for (std::size_t r = 0; r < members_.size(); ++r) {
+    if (members_[r] == id) return r;
+  }
+  throw std::out_of_range("Cluster::rank_of: node " + std::to_string(id) +
+                          " is not a member");
+}
+
 void Cluster::set_store_provider(
     std::function<store::VersionedLog*(net::NodeId, SubgroupId)> p) {
   if (started_) {
@@ -155,6 +195,12 @@ void Cluster::start() {
     f.persisted = layout.add_i64("persisted_num[" + std::to_string(i) + "]");
     fields.push_back(f);
   }
+  // Extension columns (cross-shard sequencer state etc.) go after the
+  // per-subgroup columns. A cluster with no registered extensions builds a
+  // byte-identical layout to the pre-extension code.
+  for (SharedField& sf : shared_fields_) {
+    sf.field = layout.add_i64(sf.name);
+  }
 
   // SST rows span exactly this cluster's members; rank = index in members_.
   std::vector<std::size_t> rank_of(nodes_.size(), SIZE_MAX);
@@ -169,6 +215,9 @@ void Cluster::start() {
       node.sst().init_field_all_rows_i64(f.received, -1);
       node.sst().init_field_all_rows_i64(f.delivered, -1);
       node.sst().init_field_all_rows_i64(f.persisted, -1);
+    }
+    for (const SharedField& sf : shared_fields_) {
+      node.sst().init_field_all_rows_i64(sf.field, sf.init);
     }
     ssts.push_back(&node.sst());
   }

@@ -77,6 +77,27 @@ class Cluster {
   /// round follows the order of `cfg.senders`.
   SubgroupId create_subgroup(SubgroupConfig cfg);
 
+  /// Protocol-extension point (e.g. the cross-shard sequencer of
+  /// core/domain.hpp): declare an extra i64 SST column, appended after the
+  /// per-subgroup columns when start() builds the layout. Pre-start()
+  /// mutator; returns a handle resolved to a real sst::FieldId by
+  /// shared_field() once the cluster has started. Every member's row gets
+  /// `init` as the agreed initial value.
+  std::size_t add_shared_i64_field(std::string name, std::int64_t init);
+
+  /// Resolve a handle from add_shared_i64_field(). Post-start only.
+  sst::FieldId shared_field(std::size_t handle) const;
+
+  /// Protocol-extension point: `hook` runs once per member node while that
+  /// node registers its data-plane predicates (Node::setup_predicates), so
+  /// an extension can add its own predicate groups to the same scheduler —
+  /// under whichever discipline the cluster runs. Pre-start() mutator.
+  void add_predicate_hook(std::function<void(Node&, sst::Predicates&)> hook);
+
+  /// SST rank of a member (row index in every subgroup's SST): the identity
+  /// on a standalone cluster, the index into members_ on an epoch cluster.
+  std::size_t rank_of(net::NodeId id) const;
+
   /// Durable-store binding for persistent subgroups. Pre-start() mutator:
   /// calling it after start() throws std::logic_error (the binding could
   /// never take effect — logs are wired during start()). When set, the
@@ -195,6 +216,12 @@ class Cluster {
 
   trace::SendTimeOracle& send_oracle() noexcept { return oracle_; }
 
+  /// Run every registered predicate hook against `n`'s scheduler (called
+  /// from Node::setup_predicates, after the data-plane groups exist).
+  void apply_predicate_hooks(Node& n, sst::Predicates& p) {
+    for (auto& hook : predicate_hooks_) hook(n, p);
+  }
+
   /// start()-time gate over everything the pre-start mutators accumulated:
   /// re-runs SubgroupConfig::validate for each registered subgroup and
   /// wraps failures with which subgroup (index + name) is at fault.
@@ -215,6 +242,13 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> nodes_;  // indexed by NodeId; null for
                                               // fabric nodes outside members_
   std::vector<SubgroupConfig> subgroup_configs_;
+  struct SharedField {
+    std::string name;
+    std::int64_t init;
+    sst::FieldId field;  // resolved by start()
+  };
+  std::vector<SharedField> shared_fields_;
+  std::vector<std::function<void(Node&, sst::Predicates&)>> predicate_hooks_;
   std::function<store::VersionedLog*(net::NodeId, SubgroupId)> store_provider_;
   std::vector<std::unique_ptr<store::VersionedLog>> owned_logs_;
   bool started_ = false;

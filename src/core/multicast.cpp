@@ -13,6 +13,8 @@ constexpr sim::Nanos kPerNullCost = 25;  // trailer write + counter bump
 // Ring data + trailer writes go first, then received_num (ack) pushes, then
 // delivered_num pushes — a receiver must never learn of an acknowledgment
 // before the writes it acknowledges are on the wire (per-link FIFO).
+// Lane 3 (core::kLaneDomain) is reserved for extension predicates added via
+// Cluster::add_predicate_hook (the cross-shard sequencer's grant pushes).
 constexpr int kLaneSend = 0;
 constexpr int kLaneAck = 1;
 constexpr int kLaneDelivered = 2;
@@ -134,6 +136,12 @@ void Node::setup_predicates() {
                         }});
     }
   }
+
+  // Extension predicates (e.g. the cross-shard sequencer of core/domain.hpp)
+  // register after the data-plane groups, so the strict-RR sweep order — and
+  // with it every existing golden digest — is unchanged when no extension is
+  // installed.
+  cluster_.apply_predicate_hooks(*this, *preds_);
 }
 
 /// Receive predicate (§2.4 with the §3.2 batching modification): consume

@@ -1,5 +1,6 @@
 #include "dds/client_mux.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -17,8 +18,10 @@ constexpr std::uint32_t kKindReply = 2;
 constexpr std::uint32_t kKindSample = 3;
 
 /// Header of every frame on the shared gateway<->relay rings. One layout
-/// both ways: uplink frames use (session, kind, corr); downlink replies add
-/// (seq, status) and downlink samples (seq, publisher).
+/// both ways: uplink frames use (session, kind, corr, topic); downlink
+/// replies add (seq, status) and downlink samples (seq, publisher). `topic`
+/// routes the frame within a multi-topic mux — uplink to the topic's
+/// subgroup at the relay, downlink to the session's per-topic listener.
 struct MuxFrameHeader {
   std::uint32_t session;
   std::uint32_t kind;
@@ -26,8 +29,10 @@ struct MuxFrameHeader {
   std::int64_t seq;
   std::uint32_t publisher;
   std::uint32_t status;
+  std::uint32_t topic;
+  std::uint32_t pad = 0;
 };
-static_assert(sizeof(MuxFrameHeader) == 32);
+static_assert(sizeof(MuxFrameHeader) == 40);
 
 std::vector<std::byte> echo_service(std::span<const std::byte> request) {
   return {request.begin(), request.end()};
@@ -70,7 +75,9 @@ ClientMux::ClientMux(Domain& domain, std::uint32_t mux_id, std::uint8_t topic,
         "ClientMux: topic max_sample_size must exceed the " +
         std::to_string(sizeof(RpcEnvelope)) + "-byte RPC envelope");
   }
-  max_body_ = max_sample - static_cast<std::uint32_t>(sizeof(RpcEnvelope));
+  topics_.push_back(topic_);
+  max_body_by_topic_[topic_] =
+      max_sample - static_cast<std::uint32_t>(sizeof(RpcEnvelope));
   if (!cfg_.service) cfg_.service = echo_service;
   credit_signal_ = std::make_unique<sim::Signal>(domain_.engine());
   uplink_signal_ = std::make_unique<sim::Signal>(domain_.engine());
@@ -81,6 +88,43 @@ ClientMux::ClientMux(Domain& domain, std::uint32_t mux_id, std::uint8_t topic,
 }
 
 ClientMux::~ClientMux() = default;
+
+void ClientMux::add_topic(std::uint8_t topic_id) {
+  if (started_) {
+    throw std::logic_error("ClientMux::add_topic after Domain::start()");
+  }
+  if (serves(topic_id)) return;  // idempotent
+  const std::uint32_t max_sample = domain_.topic_max_sample(topic_id);
+  if (max_sample <= sizeof(RpcEnvelope)) {
+    throw std::invalid_argument(
+        "ClientMux::add_topic: topic max_sample_size must exceed the " +
+        std::to_string(sizeof(RpcEnvelope)) + "-byte RPC envelope");
+  }
+  domain_.add_mux_topic(topic_id, relay_, this);
+  topics_.push_back(topic_id);
+  max_body_by_topic_[topic_id] =
+      max_sample - static_cast<std::uint32_t>(sizeof(RpcEnvelope));
+}
+
+std::uint8_t ClientMux::topic_for_key(std::uint64_t key) const {
+  std::uint64_t h = 14695981039346656037ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (key >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return topics_[static_cast<std::size_t>(h % topics_.size())];
+}
+
+std::uint32_t ClientMux::body_bound(std::uint8_t topic_id,
+                                    const char* what) const {
+  const auto it = max_body_by_topic_.find(topic_id);
+  if (it == max_body_by_topic_.end()) {
+    throw std::invalid_argument(std::string(what) + ": mux does not serve "
+                                "topic " + std::to_string(topic_id) +
+                                " (ClientMux::add_topic)");
+  }
+  return it->second;
+}
 
 Session* ClientMux::connect(SessionLink link) {
   auto& tr = domain_.cluster().tracer();
@@ -113,8 +157,13 @@ void ClientMux::start() {
   started_ = true;
   auto& fabric = domain_.cluster().fabric();
   const std::vector<net::NodeId> members{gateway_, relay_};
-  const std::uint32_t frame =
-      domain_.topic_max_sample(topic_) + sizeof(MuxFrameHeader);
+  // One shared ring pair for every topic: slots sized for the largest.
+  std::uint32_t max_sample = 0;
+  for (std::uint8_t t : topics_) {
+    max_sample = std::max(max_sample, domain_.topic_max_sample(t));
+    sg_by_topic_[t] = domain_.topic_subgroup(t);
+  }
+  const std::uint32_t frame = max_sample + sizeof(MuxFrameHeader);
 
   up_at_gateway_ = std::make_unique<smc::RingGroup>(
       fabric, gateway_, members, 0, 1, cfg_.ring_window, frame);
@@ -224,11 +273,11 @@ sim::Co<ReplyStatus> ClientMux::admit(Session& s) {
 }
 
 void ClientMux::stage_uplink(std::uint32_t session, std::uint64_t corr,
-                             std::uint32_t kind,
+                             std::uint32_t kind, std::uint8_t topic,
                              std::span<const std::byte> body) {
   uplink_staged_.emplace_back(sizeof(MuxFrameHeader) + body.size());
   auto& frame = uplink_staged_.back();
-  const MuxFrameHeader h{session, kind, corr, -1, 0, 0};
+  const MuxFrameHeader h{session, kind, corr, -1, 0, 0, topic, 0};
   std::memcpy(frame.data(), &h, sizeof h);
   if (!body.empty()) {
     std::memcpy(frame.data() + sizeof h, body.data(), body.size());
@@ -239,16 +288,17 @@ void ClientMux::stage_uplink(std::uint32_t session, std::uint64_t corr,
   uplink_signal_->signal();
 }
 
-sim::Co<Reply> ClientMux::run_request(Session& s,
+sim::Co<Reply> ClientMux::run_request(Session& s, std::uint8_t topic,
                                       std::span<const std::byte> body) {
   auto& eng = domain_.engine();
   if (!started_) {
     throw std::logic_error("Session::request before Domain::start()");
   }
-  if (body.size() > max_body_) {
+  const std::uint32_t bound = body_bound(topic, "Session::request");
+  if (body.size() > bound) {
     throw std::invalid_argument(
         "Session::request: body of " + std::to_string(body.size()) +
-        " bytes exceeds the topic's " + std::to_string(max_body_) +
+        " bytes exceeds the topic's " + std::to_string(bound) +
         "-byte request bound");
   }
   if (s.state_ != Session::State::open) {
@@ -271,7 +321,7 @@ sim::Co<Reply> ClientMux::run_request(Session& s,
   Session::PendingRequest p;
   p.start = start;
   s.pending_.emplace(corr, &p);
-  stage_uplink(s.id_, corr, kKindRequest, body);
+  stage_uplink(s.id_, corr, kKindRequest, topic, body);
   domain_.cluster().tracer().record(
       gateway_, trace::Stage::rpc_request, eng.now(), 0,
       domain_.topic_subgroup(topic_), trace::kNoSender,
@@ -294,16 +344,17 @@ sim::Co<Reply> ClientMux::run_request(Session& s,
   co_return r;
 }
 
-sim::Co<ReplyStatus> ClientMux::run_publish(Session& s,
+sim::Co<ReplyStatus> ClientMux::run_publish(Session& s, std::uint8_t topic,
                                             std::span<const std::byte> body) {
   auto& eng = domain_.engine();
   if (!started_) {
     throw std::logic_error("Session::publish before Domain::start()");
   }
-  if (body.size() > max_body_) {
+  const std::uint32_t bound = body_bound(topic, "Session::publish");
+  if (body.size() > bound) {
     throw std::invalid_argument(
         "Session::publish: body of " + std::to_string(body.size()) +
-        " bytes exceeds the topic's " + std::to_string(max_body_) +
+        " bytes exceeds the topic's " + std::to_string(bound) +
         "-byte bound");
   }
   if (s.state_ != Session::State::open) {
@@ -320,7 +371,7 @@ sim::Co<ReplyStatus> ClientMux::run_publish(Session& s,
   }
   // The credit rides with the frame and returns when the relay observes
   // the publish's delivery — same pipeline bound as requests.
-  stage_uplink(s.id_, 0, kKindPublish, body);
+  stage_uplink(s.id_, 0, kKindPublish, topic, body);
   co_return ReplyStatus::ok;
 }
 
@@ -436,7 +487,6 @@ sim::Co<> ClientMux::relay_actor() {
   auto& eng = domain_.engine();
   auto& relay = domain_.cluster().node(relay_);
   auto& doorbell = domain_.cluster().fabric().doorbell(relay_);
-  const core::SubgroupId sg = domain_.topic_subgroup(topic_);
   while (!stopped_ && !disconnected_) {
     if (relay.stopped()) {
       disconnect_all();
@@ -453,12 +503,14 @@ sim::Co<> ClientMux::relay_actor() {
     std::memcpy(&h, bytes.data(), sizeof h);
     const auto body = bytes.subspan(sizeof h);
     // The extra relaying step (§4.6), multiplexed: re-publish the frame
-    // into the subgroup as a flagged envelope, so every client request is
-    // totally ordered with member publications. send() blocking on the
-    // multicast window is the backpressure cascade: the uplink ring fills
-    // behind us, the gateway queue grows, credits starve, the watermark
-    // sheds.
-    const RpcEnvelope env{mux_id_, h.session, h.corr, h.kind, 0};
+    // into its topic's subgroup as a flagged envelope, so every client
+    // request is totally ordered with member publications on that topic.
+    // send() blocking on the multicast window is the backpressure cascade:
+    // the uplink ring fills behind us, the gateway queue grows, credits
+    // starve, the watermark sheds.
+    const core::SubgroupId sg =
+        sg_by_topic_.at(static_cast<std::uint8_t>(h.topic));
+    const RpcEnvelope env{mux_id_, h.session, h.corr, h.kind, h.topic};
     co_await relay.send(
         sg, static_cast<std::uint32_t>(sizeof env + body.size()),
         [&env, body](std::span<std::byte> buf) {
@@ -496,7 +548,8 @@ void ClientMux::on_topic_delivery(const Sample& sample,
       const MuxFrameHeader h{env->session, kKindReply, env->corr,
                              sample.sequence,
                              static_cast<std::uint32_t>(sample.publisher),
-                             static_cast<std::uint32_t>(ReplyStatus::ok)};
+                             static_cast<std::uint32_t>(ReplyStatus::ok),
+                             sample.topic_id, 0};
       std::memcpy(frame.data(), &h, sizeof h);
       if (!reply.empty()) {
         std::memcpy(frame.data() + sizeof h, reply.data(), reply.size());
@@ -506,12 +559,13 @@ void ClientMux::on_topic_delivery(const Sample& sample,
   }
   for (auto& sp : sessions_) {
     Session& s = *sp;
-    if (!s.subscribed_) continue;
+    if (!s.subscribed(sample.topic_id)) continue;
     downlink_staged_.emplace_back(sizeof(MuxFrameHeader) +
                                   sample.data.size());
     auto& frame = downlink_staged_.back();
     const MuxFrameHeader h{s.id_, kKindSample, 0, sample.sequence,
-                           static_cast<std::uint32_t>(sample.publisher), 0};
+                           static_cast<std::uint32_t>(sample.publisher), 0,
+                           sample.topic_id, 0};
     std::memcpy(frame.data(), &h, sizeof h);
     if (!sample.data.empty()) {
       std::memcpy(frame.data() + sizeof h, sample.data.data(),
@@ -596,10 +650,15 @@ sim::Co<> ClientMux::downlink_actor() {
           r.seq = h.seq;
           r.data.assign(body.begin(), body.end());
           complete(s, h.corr, std::move(r));
-        } else if (h.kind == kKindSample && s.subscribed_) {
-          ++s.samples_received_;
-          if (s.listener_) {
-            s.listener_(Sample{topic_, h.publisher, h.seq, body});
+        } else if (h.kind == kKindSample) {
+          const auto frame_topic = static_cast<std::uint8_t>(h.topic);
+          const auto sub = s.subs_.find(frame_topic);
+          if (sub != s.subs_.end() && sub->second.active) {
+            ++s.samples_received_;
+            if (sub->second.listener) {
+              sub->second.listener(
+                  Sample{frame_topic, h.publisher, h.seq, body});
+            }
           }
         }
       }
@@ -620,11 +679,35 @@ sim::Co<> ClientMux::downlink_actor() {
 // --- Session methods bridging into the mux ---
 
 sim::Co<Reply> Session::request(std::span<const std::byte> body) {
-  return mux_->run_request(*this, body);
+  return mux_->run_request(*this, mux_->topic_id(), body);
+}
+
+sim::Co<Reply> Session::request(std::uint8_t topic,
+                                std::span<const std::byte> body) {
+  return mux_->run_request(*this, topic, body);
+}
+
+sim::Co<Reply> Session::request_keyed(std::uint64_t key,
+                                      std::span<const std::byte> body) {
+  return mux_->run_request(*this, mux_->topic_for_key(key), body);
 }
 
 sim::Co<ReplyStatus> Session::publish(std::span<const std::byte> body) {
-  return mux_->run_publish(*this, body);
+  return mux_->run_publish(*this, mux_->topic_id(), body);
+}
+
+sim::Co<ReplyStatus> Session::publish(std::uint8_t topic,
+                                      std::span<const std::byte> body) {
+  return mux_->run_publish(*this, topic, body);
+}
+
+sim::Co<ReplyStatus> Session::publish_keyed(std::uint64_t key,
+                                            std::span<const std::byte> body) {
+  return mux_->run_publish(*this, mux_->topic_for_key(key), body);
+}
+
+Subscription Session::subscribe(SampleListener listener) {
+  return subscribe(mux_->topic_id(), std::move(listener));
 }
 
 sim::Co<> Session::close() { return mux_->drain_session(*this); }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -27,7 +28,7 @@ struct RpcEnvelope {
   std::uint32_t session;  // session id within the mux
   std::uint64_t corr;     // correlation id of the request
   std::uint32_t kind;     // 0 = request (reply expected), 1 = publish
-  std::uint32_t pad = 0;
+  std::uint32_t topic;    // topic the frame targets (multi-topic muxes)
 };
 static_assert(sizeof(RpcEnvelope) == 24);
 
@@ -81,9 +82,27 @@ class ClientMux {
   /// and after Domain::start(); sessions are owned by the mux.
   Session* connect(SessionLink link = {});
 
+  /// Serve an additional topic over the same link, actors, ring pair and
+  /// credit pool. The relay must publish and subscribe to it. Pre-start
+  /// only. Sessions then reach it via the topic overloads of
+  /// request/publish/subscribe, or transparently via the `_keyed` forms,
+  /// which hash a key over the topic list — how a session spans a sharded
+  /// topic space without knowing the partition.
+  void add_topic(std::uint8_t topic_id);
+
   net::NodeId relay_node() const noexcept { return relay_; }
   net::NodeId gateway_node() const noexcept { return gateway_; }
+  /// Primary topic: the target of the no-topic Session calls.
   std::uint8_t topic_id() const noexcept { return topic_; }
+  /// Every topic this mux serves, primary first, in add_topic order (the
+  /// keyed-routing hash space).
+  const std::vector<std::uint8_t>& topics() const noexcept { return topics_; }
+  bool serves(std::uint8_t topic_id) const noexcept {
+    return max_body_by_topic_.contains(topic_id);
+  }
+  /// Deterministic key -> topic routing (FNV-1a over the key bytes, mod the
+  /// topic count).
+  std::uint8_t topic_for_key(std::uint64_t key) const;
   bool connected() const noexcept { return !disconnected_; }
 
   std::uint32_t credits_available() const noexcept { return credits_avail_; }
@@ -116,17 +135,23 @@ class ClientMux {
   sim::Co<> downlink_actor();  // relay ship + gateway demux
 
   // Session-facing internals (Session methods live in client_mux.cpp).
-  sim::Co<Reply> run_request(Session& s, std::span<const std::byte> body);
-  sim::Co<ReplyStatus> run_publish(Session& s, std::span<const std::byte> body);
+  sim::Co<Reply> run_request(Session& s, std::uint8_t topic,
+                             std::span<const std::byte> body);
+  sim::Co<ReplyStatus> run_publish(Session& s, std::uint8_t topic,
+                                   std::span<const std::byte> body);
   sim::Co<> drain_session(Session& s);
   void cancel_session(Session& s) noexcept;
+  /// Max request/publish body for `topic`; throws when the mux does not
+  /// serve it.
+  std::uint32_t body_bound(std::uint8_t topic_id, const char* what) const;
 
   /// Credit-pool admission: true when a credit was taken, false when shed
   /// at the watermark (sets `shed`). Waits while parked below watermark.
   sim::Co<ReplyStatus> admit(Session& s);
   void return_credit() noexcept;
   void stage_uplink(std::uint32_t session, std::uint64_t corr,
-                    std::uint32_t kind, std::span<const std::byte> body);
+                    std::uint32_t kind, std::uint8_t topic,
+                    std::span<const std::byte> body);
   void complete(Session& s, std::uint64_t corr, Reply&& r);
   /// Resolve every in-flight request of `s` with `st` immediately, waking
   /// the awaiting coroutines through the event queue.
@@ -137,11 +162,15 @@ class ClientMux {
 
   Domain& domain_;
   std::uint32_t mux_id_;
-  std::uint8_t topic_;
+  std::uint8_t topic_;  // primary topic
   net::NodeId gateway_;
   net::NodeId relay_;
   MuxConfig cfg_;
-  std::uint32_t max_body_;  // topic max sample minus the envelope
+  std::vector<std::uint8_t> topics_;  // primary first, then add_topic order
+  // Per-topic body bound (topic max sample minus the envelope) — also the
+  // serves() membership set.
+  std::map<std::uint8_t, std::uint32_t> max_body_by_topic_;
+  std::map<std::uint8_t, core::SubgroupId> sg_by_topic_;  // cached at start()
 
   std::vector<std::unique_ptr<Session>> sessions_;
   std::size_t live_sessions_ = 0;

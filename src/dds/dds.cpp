@@ -227,6 +227,25 @@ ClientMux& Domain::create_client_mux(std::uint8_t topic_id,
   return create_client_mux(topic_id, gateway_node, relay, MuxConfig{});
 }
 
+void Domain::add_mux_topic(std::uint8_t topic_id, net::NodeId relay,
+                           ClientMux* mux) {
+  if (started_) {
+    throw std::logic_error("ClientMux::add_topic after Domain::start()");
+  }
+  TopicState& ts = topic(topic_id);
+  if (std::find(ts.cfg.subscribers.begin(), ts.cfg.subscribers.end(),
+                relay) == ts.cfg.subscribers.end()) {
+    throw std::invalid_argument(
+        "ClientMux::add_topic: relay must subscribe to the topic");
+  }
+  if (std::find(ts.cfg.publishers.begin(), ts.cfg.publishers.end(), relay) ==
+      ts.cfg.publishers.end()) {
+    throw std::invalid_argument(
+        "ClientMux::add_topic: relay must be a publisher of the topic");
+  }
+  ts.muxes[relay].push_back(mux);
+}
+
 std::uint64_t Domain::total_samples(std::uint8_t topic_id) const {
   const TopicState& ts = topic(topic_id);
   std::uint64_t total = 0;

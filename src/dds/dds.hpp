@@ -168,6 +168,13 @@ class Domain {
 
  private:
   friend class DataWriter;
+  friend class ClientMux;
+
+  /// ClientMux::add_topic back-half: validate that `relay` can serve
+  /// `topic_id` (publisher + subscriber, pre-start) and register the mux for
+  /// that topic's deliveries at the relay.
+  void add_mux_topic(std::uint8_t topic_id, net::NodeId relay, ClientMux* mux);
+
   struct TopicState {
     TopicConfig cfg;
     core::SubgroupId subgroup;

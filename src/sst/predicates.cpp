@@ -85,10 +85,12 @@ Predicates::PredId Predicates::add(GroupId g, PredicateOptions opts) {
   assert(opts.fire && "a predicate needs a trigger body");
   assert((opts.cls != PredicateClass::transition || opts.when) &&
          "a transition predicate needs a condition to edge-detect");
+  assert(opts.weight >= 1 && "predicate weight must be >= 1");
   Predicate p;
   p.cls = opts.cls;
   p.when = std::move(opts.when);
   p.fire = std::move(opts.fire);
+  p.weight = opts.weight == 0 ? 1 : opts.weight;
   p.stats.name = std::move(opts.name);
   p.stats.cls = p.cls;
   preds_.push_back(std::move(p));
@@ -206,8 +208,10 @@ void Predicates::visit_groups(
 
 /// One evaluation round over a group's predicates. Runs under the group's
 /// lock (the scheduler holds it); pure compute — simulated CPU accumulates
-/// in `work`, deferred RDMA in `plan`. Returns true iff any trigger acted.
-bool Predicates::eval_group(Group& g, sim::Nanos& work, PostPlan& plan) {
+/// in `work` (and its weight-scaled image in `charge`, the DRR debit),
+/// deferred RDMA in `plan`. Returns true iff any trigger acted.
+bool Predicates::eval_group(Group& g, sim::Nanos& work, sim::Nanos& charge,
+                            PostPlan& plan) {
   if (g.opts.enabled && !g.opts.enabled()) return false;
   bool any = false;
   for (PredId id : g.preds) {
@@ -236,6 +240,7 @@ bool Predicates::eval_group(Group& g, sim::Nanos& work, PostPlan& plan) {
     // later in virtual time.
     if (acted && !delays_.empty()) work += fire_delay(p.stats.name);
     p.stats.cpu += work - before;  // guard costs accrue even on quiet rounds
+    charge += p.weight <= 1 ? work - before : (work - before) / p.weight;
     if (acted) {
       ++p.stats.fires;
       any = true;
@@ -286,7 +291,8 @@ sim::Co<> Predicates::run_reactive() {
       plan_.clear();
       merge_released();
       sim::Nanos work = 0;
-      const bool acted = eval_group(g, work, plan_);
+      sim::Nanos charge = 0;  // unused: strict-RR has no deficit account
+      const bool acted = eval_group(g, work, charge, plan_);
       if (g.opts.on_work) g.opts.on_work(work);
       if (!acted && plan_.empty()) {
         carry += work;
@@ -478,12 +484,13 @@ sim::Co<> Predicates::run_drr() {
       plan_.clear();
       merge_released();
       sim::Nanos work = 0;
-      const bool acted = eval_group(g, work, plan_);
+      sim::Nanos charge = 0;  // weight-scaled debit (== work at weight 1)
+      const bool acted = eval_group(g, work, charge, plan_);
       if (g.opts.on_work) g.opts.on_work(work);
       ++sc.serviced;
       if (!acted && plan_.empty()) {
         carry += work;
-        sc.deficit -= work;
+        sc.deficit -= charge;
         if (probe) {
           sc.next_scan = engine_.now() + g.opts.scan_interval;
         } else if (++sc.quiet_streak >= cfg_.drr_demote_after &&
@@ -517,7 +524,7 @@ sim::Co<> Predicates::run_drr() {
         co_await engine_.sleep(post);
       }
       if (g.opts.lock && !g.opts.early_release) g.opts.lock->unlock();
-      sc.deficit -= work + post;
+      sc.deficit -= charge + post;
       if (cfg_.on_service) cfg_.on_service(g.opts, reason, sc.deficit);
     }
     if (cfg_.stopped()) break;
@@ -582,7 +589,8 @@ sim::Co<> Predicates::run_paced() {
       plan_.clear();
       merge_released();
       sim::Nanos work = 0;
-      const bool acted = eval_group(g, work, plan_);
+      sim::Nanos charge = 0;  // unused: paced mode has no deficit account
+      const bool acted = eval_group(g, work, charge, plan_);
       if (g.opts.on_work) g.opts.on_work(work);
       if (acted && g.opts.on_fire) g.opts.on_fire(work);
       post_total += issue_plan();

@@ -178,6 +178,15 @@ class Predicates {
     /// by charging it inside the trigger).
     Condition when;
     Trigger fire;
+    /// DRR only: per-predicate weight *within* the group's deficit account.
+    /// A weight-w predicate's compute is debited at 1/w of its real cost, so
+    /// a hot control predicate (e.g. a cross-shard sequencer grant) drains
+    /// the group's credit w times slower than its weight-1 peers — it keeps
+    /// being serviced while cold scan-lane work is what pays the debt.
+    /// Real CPU time is still slept in full; only the *accounting* is
+    /// weighted. weight 1 (default) is bit-identical to the pre-weight
+    /// scheduler. Ignored under strict-RR and paced disciplines.
+    std::uint32_t weight = 1;
   };
 
   struct SchedulerConfig {
@@ -300,6 +309,7 @@ class Predicates {
     Condition when;
     Trigger fire;
     PredicateStats stats;
+    std::uint32_t weight = 1;  // DRR deficit-debit divisor
     bool edge = false;  // transition: last observed condition value
     bool done = false;  // one_time: already fired
   };
@@ -322,7 +332,11 @@ class Predicates {
     sim::Nanos extra = 0;
   };
 
-  bool eval_group(Group& g, sim::Nanos& work, PostPlan& plan);
+  /// One evaluation round over `g`'s predicates. `work` accumulates the
+  /// real compute to sleep; `charge` accumulates the weight-scaled compute
+  /// the DRR discipline debits (== work when every predicate has weight 1).
+  bool eval_group(Group& g, sim::Nanos& work, sim::Nanos& charge,
+                  PostPlan& plan);
   sim::Nanos fire_delay(const std::string& name);
   /// Release held_ actions whose lane-drop window expired into the front
   /// of plan_ (called at the top of each group round, so a quiet group

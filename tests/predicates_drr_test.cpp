@@ -79,6 +79,36 @@ TEST(PredicatesDrr, CpuShareConvergesToWeightRatio) {
       << "cpu_a=" << cpu_a << " cpu_b=" << cpu_b;
 }
 
+TEST(PredicatesDrr, PredicateWeightScalesCpuShareWithinEqualGroups) {
+  // Two equal-weight groups, one always-busy predicate each, identical
+  // per-fire cost — but group A's predicate carries per-predicate weight 4,
+  // so its compute debits the group's deficit at a quarter of its real
+  // cost. Charges converge 1:1 under contention, hence real CPU converges
+  // to the predicate-weight ratio. This is the knob the cross-shard
+  // sequencer grant uses (DomainConfig::sequencer_predicate_weight).
+  Harness h(Discipline::drr);
+  const auto ga = h.preds.add_group(weighted("a", 1, 0));
+  const auto gb = h.preds.add_group(weighted("b", 1, 0));
+  const auto pa = h.preds.add(ga, {"hot_grant", PredicateClass::recurrent,
+                                   nullptr,
+                                   [](TriggerContext& ctx) {
+                                     ctx.work += 5000;
+                                     return true;
+                                   },
+                                   4});
+  const auto pb = h.preds.add(gb, {"peer", PredicateClass::recurrent, nullptr,
+                                   [](TriggerContext& ctx) {
+                                     ctx.work += 5000;
+                                     return true;
+                                   }});
+  h.run_for(sim::millis(20));
+  const double cpu_a = static_cast<double>(h.preds.stats(pa).cpu);
+  const double cpu_b = static_cast<double>(h.preds.stats(pb).cpu);
+  ASSERT_GT(cpu_b, 0);
+  EXPECT_NEAR(cpu_a / cpu_b, 4.0, 1.0)
+      << "cpu_a=" << cpu_a << " cpu_b=" << cpu_b;
+}
+
 TEST(PredicatesDrr, ColdGroupServicedWithinScanIntervalBound) {
   // A saturating hot group and a never-firing minimum-weight cold group:
   // the cold group must demote onto the scan lane (it stops paying a slot
