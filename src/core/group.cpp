@@ -19,6 +19,13 @@ void ClusterConfig::validate() const {
         "ClusterConfig: drr needs scan_interval >= 1ns (the cold-subgroup "
         "probe bound)");
   }
+  if (adaptive_scan &&
+      (adaptive_scan_factor <= 0 || adaptive_scan_min <= 0 ||
+       adaptive_scan_max < adaptive_scan_min)) {
+    throw std::invalid_argument(
+        "ClusterConfig: adaptive_scan needs factor > 0 and "
+        "0 < adaptive_scan_min <= adaptive_scan_max");
+  }
   if (sim_threads == 0) {
     throw std::invalid_argument(
         "ClusterConfig: sim_threads must be >= 1 (1 = serial engine)");
@@ -297,6 +304,8 @@ void Cluster::start() {
       ns.counters.rdma_writes_posted = nic.writes_posted;
       ns.counters.rdma_bytes_posted = nic.bytes_posted;
       ns.counters.post_cpu = nic.post_cpu;
+      ns.counters.atomics_posted = nic.atomics_posted;
+      ns.counters.atomics_executed = nic.atomics_executed;
       ns.counters.lock_wait = node->lock().total_wait();
       for (const auto& s : node->subgroups()) {
         metrics::SubgroupStats sub{

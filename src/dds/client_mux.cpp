@@ -62,12 +62,19 @@ ClientMux::ClientMux(Domain& domain, std::uint32_t mux_id, std::uint8_t topic,
       gateway_(gateway),
       relay_(relay),
       cfg_(std::move(cfg)),
-      credits_avail_(cfg_.credits) {
+      credits_limit_(cfg_.credits) {
   if (cfg_.ring_window < 2) {
     throw std::invalid_argument("ClientMux: ring_window must be >= 2");
   }
   if (cfg_.credits == 0) {
     throw std::invalid_argument("ClientMux: credit pool must be >= 1");
+  }
+  if (cfg_.adaptive_credits &&
+      (cfg_.min_credits == 0 || cfg_.min_credits > cfg_.credits ||
+       cfg_.credit_target_delay <= 0)) {
+    throw std::invalid_argument(
+        "ClientMux: adaptive_credits needs 1 <= min_credits <= credits and "
+        "a positive credit_target_delay");
   }
   const std::uint32_t max_sample = domain_.topic_max_sample(topic_);
   if (max_sample <= sizeof(RpcEnvelope)) {
@@ -147,7 +154,8 @@ Session* ClientMux::connect(SessionLink link) {
 
 metrics::RelayTierStats ClientMux::tier_stats() const {
   metrics::RelayTierStats t = tier_;
-  t.credits_available = credits_avail_;
+  t.credits_available = credits_available();
+  t.credits_effective = credits_limit_;
   t.credit_waiters = credit_waiters_;
   t.sessions_live = live_sessions_;
   return t;
@@ -198,17 +206,36 @@ bool ClientMux::relay_stopped() const {
 }
 
 void ClientMux::return_credit() noexcept {
-  if (credits_avail_ < cfg_.credits) ++credits_avail_;
+  if (credits_out_ > 0) --credits_out_;
+  if (cfg_.adaptive_credits) resize_credit_pool();
   // FIFO hand-off: the freed credit goes to the oldest parked request, not
   // to whichever coroutine happens to run next — without this, arrivals cut
   // the line and a parked request's wait grows with the run length.
-  while (credits_avail_ > 0 && !credit_queue_.empty()) {
+  while (credits_available() > 0 && !credit_queue_.empty()) {
     CreditWaiter* w = credit_queue_.front();
     credit_queue_.pop_front();
-    --credits_avail_;
+    ++credits_out_;
     w->granted = true;
   }
   credit_signal_->signal();
+}
+
+void ClientMux::resize_credit_pool() noexcept {
+  // Little's law: a pool of credit_target_delay / mean inter-return gap
+  // keeps the in-flight backlog worth about one target delay of service.
+  // Integer EWMA end to end, so adaptive runs stay deterministic.
+  const sim::Nanos now = domain_.engine().now();
+  if (last_credit_return_ >= 0) {
+    sim::Nanos gap = now - last_credit_return_;
+    if (gap < 1) gap = 1;  // same-instant burst: treat as max service rate
+    credit_gap_ewma_ =
+        credit_gap_ewma_ == 0 ? gap : (7 * credit_gap_ewma_ + gap) / 8;
+    const auto derived =
+        static_cast<std::uint64_t>(cfg_.credit_target_delay / credit_gap_ewma_);
+    credits_limit_ = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+        derived, cfg_.min_credits, cfg_.credits));
+  }
+  last_credit_return_ = now;
 }
 
 sim::Co<ReplyStatus> ClientMux::admit(Session& s) {
@@ -219,8 +246,8 @@ sim::Co<ReplyStatus> ClientMux::admit(Session& s) {
         ? ReplyStatus::disconnected
         : ReplyStatus::cancelled;
   }
-  if (credit_queue_.empty() && credits_avail_ > 0) {
-    --credits_avail_;
+  if (credit_queue_.empty() && credits_available() > 0) {
+    ++credits_out_;
     ++tier_.requests_admitted;
     co_return ReplyStatus::ok;
   }
@@ -443,7 +470,7 @@ void ClientMux::disconnect_all() noexcept {
   // The pipeline is gone; nothing will return credits. Reset the pool for
   // the record (admission refuses anyway) and wake parked requests so they
   // observe the disconnect.
-  credits_avail_ = cfg_.credits;
+  credits_out_ = 0;
   credit_queue_.clear();
   credit_signal_->signal();
   uplink_signal_->signal();

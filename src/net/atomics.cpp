@@ -1,0 +1,73 @@
+#include "net/atomics.hpp"
+
+#include <cstring>
+
+namespace spindle::net {
+
+TicketSequencer::TicketSequencer(Fabric& fabric, NodeId home)
+    : fabric_(fabric), home_(home) {
+  region_ = fabric_.register_region(
+      home_, std::span<std::byte>(word_.data(), word_.size()),
+      Channel::control);
+}
+
+sim::Co<AtomicResult> TicketSequencer::acquire(NodeId who) {
+  return fabric_.rdma_faa(who, region_, 0, 1);
+}
+
+std::uint64_t TicketSequencer::issued() const {
+  std::uint64_t v = 0;
+  std::memcpy(&v, word_.data(), sizeof v);
+  return v;
+}
+
+ALock::ALock(Fabric& fabric, NodeId home) : ALock(fabric, home, Config{}) {}
+
+ALock::ALock(Fabric& fabric, NodeId home, Config cfg)
+    : fabric_(fabric), home_(home), cfg_(cfg), held_(fabric.size(), 0) {
+  region_ = fabric_.register_region(
+      home_, std::span<std::byte>(word_.data(), word_.size()),
+      Channel::control);
+}
+
+sim::Co<bool> ALock::lock(NodeId who) {
+  sim::Engine& eng = fabric_.engine();
+  for (;;) {
+    const std::uint64_t token = token_for(who, eng.now() + cfg_.lease);
+    AtomicResult r = co_await fabric_.rdma_cas(who, region_, 0, 0, token);
+    if (!r.ok) co_return false;
+    if (r.value == 0) {  // was free: we installed our token
+      held_[who] = token;
+      ++acquisitions_;
+      co_return true;
+    }
+    // Held. If the embedded lease has expired the holder is presumed
+    // crashed: steal with a CAS against the exact stale token, so two
+    // contenders racing for the same expired lease elect exactly one.
+    const auto holder_expiry = static_cast<sim::Nanos>(r.value & kExpiryMask);
+    if (eng.now() > holder_expiry) {
+      const std::uint64_t fresh = token_for(who, eng.now() + cfg_.lease);
+      AtomicResult s =
+          co_await fabric_.rdma_cas(who, region_, 0, r.value, fresh);
+      if (!s.ok) co_return false;
+      if (s.value == r.value) {
+        held_[who] = fresh;
+        ++acquisitions_;
+        ++steals_;
+        co_return true;
+      }
+      continue;  // someone else stole it first; re-read immediately
+    }
+    co_await eng.sleep(cfg_.retry_interval);
+  }
+}
+
+sim::Co<bool> ALock::unlock(NodeId who) {
+  const std::uint64_t token = held_[who];
+  held_[who] = 0;
+  if (token == 0) co_return false;
+  AtomicResult r = co_await fabric_.rdma_cas(who, region_, 0, token, 0);
+  co_return r.ok && r.value == token;
+}
+
+}  // namespace spindle::net

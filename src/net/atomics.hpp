@@ -1,0 +1,91 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace spindle::net {
+
+/// Fetch-add ticket sequencer: one 8-byte counter in `home`'s registered
+/// memory (control channel — ticket grabs must not queue behind SMC bulk
+/// batches). `acquire(who)` posts one FAA(+1) and returns the fetched
+/// pre-increment value as the caller's ticket. The target NIC's atomics
+/// unit is the only serialization point: tickets are issued in execution
+/// order, dense from 0, with no remote CPU and no predicate scan on the
+/// critical path — the alternative gsn-grant path of DESIGN.md §3g.
+class TicketSequencer {
+ public:
+  TicketSequencer(Fabric& fabric, NodeId home);
+
+  /// One ticket for `who`. result.ok == false means the fabric dropped the
+  /// verb (an isolated endpoint): no ticket was consumed from `who`'s point
+  /// of view, though the counter may still have advanced if the home NIC
+  /// executed the FAA before dying.
+  sim::Co<AtomicResult> acquire(NodeId who);
+
+  /// Tickets issued so far (local read of the counter word).
+  std::uint64_t issued() const;
+
+  NodeId home() const noexcept { return home_; }
+  RegionId region() const noexcept { return region_; }
+
+ private:
+  Fabric& fabric_;
+  NodeId home_;
+  RegionId region_;
+  alignas(8) std::array<std::byte, 8> word_{};
+};
+
+/// ALock-style asymmetric lease lock on one 8-byte word in `home`'s memory.
+///
+/// Word layout: 0 when free; a holder installs
+/// `((holder + 1) << 48) | (lease_expiry_ns & 2^48-1)`. Acquisition is one
+/// CAS(0 -> token); a contender that loses inspects the old token and, once
+/// the embedded lease has expired, *steals* the lock with CAS(old -> token)
+/// — so a holder that crashed mid-critical-section delays contenders by at
+/// most one lease instead of wedging the system. unlock() is
+/// CAS(my token -> 0): after a steal it fails harmlessly (the word no
+/// longer matches), which is exactly the fencing a lease scheme needs.
+class ALock {
+ public:
+  struct Config {
+    sim::Nanos lease = sim::micros(2000);
+    sim::Nanos retry_interval = sim::micros(5);
+  };
+
+  ALock(Fabric& fabric, NodeId home, Config cfg);
+  ALock(Fabric& fabric, NodeId home);  // default Config
+
+  /// Acquire for `who`; spins (with deterministic retry pacing) until the
+  /// lock is won or the fabric becomes unreachable (returns false).
+  sim::Co<bool> lock(NodeId who);
+
+  /// Release `who`'s lease. false: the lease had already been stolen or the
+  /// fabric is unreachable — either way the caller no longer holds it.
+  sim::Co<bool> unlock(NodeId who);
+
+  std::uint64_t acquisitions() const noexcept { return acquisitions_; }
+  std::uint64_t steals() const noexcept { return steals_; }
+  NodeId home() const noexcept { return home_; }
+
+ private:
+  static constexpr std::uint64_t kExpiryMask = (std::uint64_t{1} << 48) - 1;
+
+  std::uint64_t token_for(NodeId who, sim::Nanos expiry) const {
+    return (static_cast<std::uint64_t>(who + 1) << 48) |
+           (static_cast<std::uint64_t>(expiry) & kExpiryMask);
+  }
+
+  Fabric& fabric_;
+  NodeId home_;
+  Config cfg_;
+  RegionId region_;
+  alignas(8) std::array<std::byte, 8> word_{};
+  std::vector<std::uint64_t> held_;  // per node: the token it installed
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t steals_ = 0;
+};
+
+}  // namespace spindle::net

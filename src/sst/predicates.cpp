@@ -347,6 +347,15 @@ void Predicates::credit_group(Group& g, std::int64_t rounds) {
   g.sched.deficit = std::min(g.sched.deficit + rounds * per_round, cap);
 }
 
+sim::Nanos Predicates::scan_interval_for(const Group& g) const {
+  if (!cfg_.adaptive_scan || round_cost_ewma_ == 0) {
+    return g.opts.scan_interval;
+  }
+  const auto derived = static_cast<sim::Nanos>(
+      cfg_.adaptive_scan_factor * static_cast<double>(round_cost_ewma_));
+  return std::clamp(derived, cfg_.adaptive_scan_min, cfg_.adaptive_scan_max);
+}
+
 /// Pull every demoted group off the scan lane (a rearm made dormant
 /// predicates live again). Debt is forgiven: a promotion is a fresh start,
 /// not a backlog to repay.
@@ -492,13 +501,13 @@ sim::Co<> Predicates::run_drr() {
         carry += work;
         sc.deficit -= charge;
         if (probe) {
-          sc.next_scan = engine_.now() + g.opts.scan_interval;
+          sc.next_scan = engine_.now() + scan_interval_for(g);
         } else if (++sc.quiet_streak >= cfg_.drr_demote_after &&
                    g.opts.scan_interval > 0 &&
                    engine_.now() - sc.last_fire >= cfg_.drr_demote_quiet) {
           sc.demoted = true;
           ++sc.demotions;
-          sc.next_scan = engine_.now() + g.opts.scan_interval;
+          sc.next_scan = engine_.now() + scan_interval_for(g);
         }
         if (cfg_.on_service) cfg_.on_service(g.opts, reason, sc.deficit);
         if (g.opts.lock) g.opts.lock->unlock();
@@ -536,6 +545,15 @@ sim::Co<> Predicates::run_drr() {
     co_await engine_.sleep(over + burn);
 
     if (progress) {
+      // Adaptive scan: fold this busy round's full virtual cost (compute,
+      // post, pauses, lock waits — everything since round_start) into the
+      // EWMA the probe period is derived from. Quiet rounds cost ~nothing
+      // and would drag the interval to its floor, so only progressing
+      // rounds count as "useful work".
+      const sim::Nanos round_cost = engine_.now() - round_start;
+      round_cost_ewma_ = round_cost_ewma_ == 0
+                             ? round_cost
+                             : (7 * round_cost_ewma_ + round_cost) / 8;
       idle_streak = 0;
     } else if (++idle_streak >= cfg_.idle_streak_threshold) {
       const int shift = std::min(idle_streak - cfg_.idle_streak_threshold,

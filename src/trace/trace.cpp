@@ -52,6 +52,8 @@ const char* to_string(Stage s) {
       return "rpc_reply";
     case Stage::admission_shed:
       return "admission_shed";
+    case Stage::atomic_post:
+      return "atomic_post";
   }
   return "?";
 }

@@ -42,9 +42,11 @@ enum class Stage : std::uint8_t {
                    // (dur = end-to-end RTT, arg = correlation id)
   admission_shed,  // front tier: request or session shed with Busy
                    // (arg = credit waiters at the decision)
+  atomic_post,     // one-sided atomic round trip completed
+                   // (dur = post-to-response latency, arg = fetched value)
 };
 
-inline constexpr std::size_t kNumStages = 23;
+inline constexpr std::size_t kNumStages = 24;
 const char* to_string(Stage s);
 
 inline constexpr std::uint32_t kNoSubgroup = UINT32_MAX;

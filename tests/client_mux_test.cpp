@@ -441,6 +441,67 @@ TEST_F(MuxFixture, CancelWhileParkedForCreditLeavesQueueIntact) {
   EXPECT_EQ(stats.relay(0)->requests_admitted, 2u);
 }
 
+TEST_F(MuxFixture, AdaptiveCreditsShrinkOnSlowRelayAndRecover) {
+  // Adaptive credit sizing (Little's law over the EWMA of inter-credit-
+  // return gaps): a healthy relay keeps the pool at the configured cap; a
+  // relay whose links degrade 200x stretches the service gap, so the pool
+  // must shrink toward min_credits; clearing the fault must grow it back.
+  MuxConfig mc;
+  mc.adaptive_credits = true;
+  mc.credits = 32;
+  mc.min_credits = 2;
+  mc.credit_target_delay = sim::millis(4);
+  make(std::move(mc));
+  Session* s = mux->connect();
+  ASSERT_NE(s, nullptr);
+
+  // One outstanding request at a time: credit returns are spaced exactly
+  // one RPC round trip apart, so the gap EWMA tracks the relay's actual
+  // service rate with no batching artifacts.
+  auto drive = [&](std::uint64_t base, std::uint64_t n) {
+    std::uint64_t done = 0;
+    domain->engine().spawn([](Session* sess, std::uint64_t b, std::uint64_t n,
+                              std::uint64_t* d) -> sim::Co<> {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        co_await sess->request(bytes_of(b + i));
+        ++*d;
+      }
+    }(s, base, n, &done));
+    return run_until([&, n] { return done == n; });
+  };
+
+  // Phase 1 — healthy: a ~30us round trip against a 4ms target keeps the
+  // derived pool pinned at the cap.
+  ASSERT_TRUE(drive(0, 60));
+  EXPECT_EQ(mux->credits_effective(), 32u);
+
+  // Phase 2 — every link out of the relay degrades 200x.
+  auto& fabric = domain->cluster().fabric();
+  for (net::NodeId dst = 1; dst <= 4; ++dst) {
+    fabric.set_link_fault(0, dst, 200.0, 0);
+  }
+  ASSERT_TRUE(drive(1000, 60));
+  const std::uint32_t shrunk = mux->credits_effective();
+  EXPECT_LE(shrunk, 8u);
+  EXPECT_GE(shrunk, 2u);  // never below the floor
+
+  // The drilled-down tier stats report the adapted pool, not the config.
+  {
+    const auto stats = domain->cluster().stats();
+    const metrics::RelayTierStats* tier = stats.relay(0);
+    ASSERT_NE(tier, nullptr);
+    EXPECT_EQ(tier->credits_effective, shrunk);
+    EXPECT_EQ(tier->credits_configured, 32u);
+  }
+
+  // Phase 3 — recovery: the fault clears and the pool grows back to cap.
+  for (net::NodeId dst = 1; dst <= 4; ++dst) {
+    fabric.set_link_fault(0, dst, 1.0, 0);
+  }
+  ASSERT_TRUE(drive(2000, 60));
+  EXPECT_EQ(mux->credits_effective(), 32u);
+}
+
 TEST_F(MuxFixture, ResubscribeSupersedesAndStaleHandleIsInert) {
   make();
   Session* s = mux->connect();
@@ -617,6 +678,13 @@ TEST(MuxValidation, RejectsBadTopologies) {
   MuxConfig bad;
   bad.ring_window = 1;
   EXPECT_THROW(domain.create_client_mux(1, 4, 0, std::move(bad)),
+               std::invalid_argument);
+
+  MuxConfig bad_adaptive;
+  bad_adaptive.adaptive_credits = true;
+  bad_adaptive.min_credits = 64;  // floor above the cap
+  bad_adaptive.credits = 16;
+  EXPECT_THROW(domain.create_client_mux(1, 4, 0, std::move(bad_adaptive)),
                std::invalid_argument);
 
   domain.create_client_mux(1, 4, 0);  // valid
